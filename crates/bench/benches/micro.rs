@@ -1,0 +1,126 @@
+//! Microbenchmarks of the engine's hot components: cache-manager
+//! operations, the discrete-event queue, trace generation, the etcd-like
+//! datastore, and the tensor kernels (the live-inference path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfaas_core::{CacheManager, ReplacementPolicy};
+use gfaas_faas::Datastore;
+use gfaas_gpu::{GpuId, ModelId};
+use gfaas_sim::event::EventQueue;
+use gfaas_sim::rng::DetRng;
+use gfaas_sim::time::SimTime;
+use gfaas_tensor::ops::{conv2d, matmul, Conv2dParams};
+use gfaas_tensor::Tensor;
+use gfaas_trace::AzureTraceConfig;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("micro/cache_touch_lru", |b| {
+        let gpus: Vec<GpuId> = (0..12).map(GpuId).collect();
+        let mut mgr = CacheManager::new(gpus.clone(), ReplacementPolicy::Lru, 1);
+        for g in &gpus {
+            for m in 0..4 {
+                mgr.insert(*g, ModelId(g.0 as u32 * 4 + m));
+            }
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let g = GpuId((i % 12) as u16);
+            mgr.touch(g, ModelId(g.0 as u32 * 4 + (i % 4)));
+            i = i.wrapping_add(1);
+            black_box(&mgr);
+        })
+    });
+
+    c.bench_function("micro/cache_miss_with_eviction", |b| {
+        let mut mgr = CacheManager::new([GpuId(0)], ReplacementPolicy::Lru, 1);
+        let mut next = 0u32;
+        for _ in 0..4 {
+            mgr.insert(GpuId(0), ModelId(next));
+            next += 1;
+        }
+        b.iter(|| {
+            let victims = mgr
+                .select_victims(GpuId(0), 100, 0, |_| 100, &[])
+                .expect("evictable");
+            black_box(&victims);
+            mgr.insert(GpuId(0), ModelId(next));
+            next = next.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("micro/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+            for i in 0..1000u32 {
+                // Pseudo-random times to exercise heap churn.
+                q.schedule(SimTime::from_micros((i as u64 * 7919) % 4096), i);
+            }
+            let mut acc = 0u32;
+            while let Some((_, v)) = q.pop() {
+                acc ^= v;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/trace_gen");
+    for ws in [15usize, 35] {
+        group.bench_with_input(BenchmarkId::new("ws", ws), &ws, |b, &ws| {
+            b.iter(|| black_box(AzureTraceConfig::paper(ws, 7).generate()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_datastore(c: &mut Criterion) {
+    c.bench_function("micro/datastore_put_get", |b| {
+        let ds = Datastore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("/gpu/{}/status", i % 12);
+            ds.put(&key, if i % 2 == 0 { "busy" } else { "idle" });
+            black_box(ds.get(&key));
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = DetRng::new(5);
+    let a = Tensor::from_fn(&[64, 128], |_| rng.range_f64(-1.0, 1.0) as f32);
+    let b2 = Tensor::from_fn(&[128, 64], |_| rng.range_f64(-1.0, 1.0) as f32);
+    c.bench_function("micro/matmul_64x128x64", |b| {
+        b.iter(|| black_box(matmul(black_box(&a), black_box(&b2))))
+    });
+
+    let input = Tensor::from_fn(&[1, 3, 32, 32], |_| rng.range_f64(0.0, 1.0) as f32);
+    let weight = Tensor::from_fn(&[16, 3, 3, 3], |_| rng.range_f64(-0.2, 0.2) as f32);
+    let params = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
+    c.bench_function("micro/conv2d_3x32x32_to_16", |b| {
+        b.iter(|| black_box(conv2d(black_box(&input), black_box(&weight), None, params)))
+    });
+
+    let net = gfaas_tensor::nets::mini_resnet(10, 3);
+    let batch = gfaas_models::live::synthetic_batch(gfaas_models::live::InputKind::Cifar, 4, 1);
+    c.bench_function("micro/mini_resnet_forward_b4", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batch))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_event_queue,
+    bench_trace_gen,
+    bench_datastore,
+    bench_tensor
+);
+criterion_main!(benches);

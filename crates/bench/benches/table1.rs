@@ -1,0 +1,49 @@
+//! Criterion bench for the Table I machinery: the profiling procedure and
+//! the per-request latency-profile lookups the scheduler makes on its hot
+//! path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfaas_gpu::pcie::PcieModel;
+use gfaas_gpu::ModelId;
+use gfaas_models::profiler::{profile_all, profile_model};
+use gfaas_models::ModelRegistry;
+use gfaas_sim::rng::DetRng;
+use std::hint::black_box;
+
+fn bench_profiler(c: &mut Criterion) {
+    let registry = ModelRegistry::table1();
+    let pcie = PcieModel::table1();
+
+    c.bench_function("table1/profile_one_model", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            black_box(profile_model(
+                &registry,
+                &pcie,
+                black_box(ModelId(9)),
+                &mut rng,
+            ))
+        })
+    });
+
+    c.bench_function("table1/profile_all_22", |b| {
+        b.iter(|| black_box(profile_all(&registry, &pcie, black_box(42))))
+    });
+
+    c.bench_function("table1/profile_lookups", |b| {
+        // The scheduler queries occupancy + load + inference time per
+        // decision; this measures that triple lookup.
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in registry.ids() {
+                acc ^= registry.occupancy_bytes(id);
+                acc ^= registry.load_time(id).as_micros();
+                acc ^= registry.infer_time(id, 32).as_micros();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

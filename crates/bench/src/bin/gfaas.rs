@@ -1,0 +1,228 @@
+//! `gfaas` — command-line front end for the experiment harness.
+//!
+//! ```text
+//! gfaas run [--policy lb|lalb|lalbo3] [--ws N] [--seed S] [--seeds a,b,c]
+//!           [--o3-limit N] [--gpus N] [--headroom MIB] [--burstiness F]
+//!           [--replacement lru|fifo|random] [--tenants N] [--tenant-cap N]
+//! gfaas profile            # regenerate Table I
+//! gfaas trace [--ws N] [--seed S] [--out FILE]   # emit a CSV workload
+//! gfaas sweep              # the full Fig 4 grid (policies x working sets)
+//! ```
+
+use std::collections::HashMap;
+
+use gfaas_bench::{paper_policies, TablePrinter, WORKING_SETS};
+use gfaas_core::{Cluster, ClusterConfig, Policy, ReplacementPolicy, RunMetrics};
+use gfaas_gpu::pcie::PcieModel;
+use gfaas_models::profiler::profile_all;
+use gfaas_models::ModelRegistry;
+use gfaas_trace::AzureTraceConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gfaas <run|profile|trace|sweep> [flags]\n\
+         run flags: --policy lb|lalb|lalbo3  --ws N  --seed S  --seeds a,b,c\n\
+         \x20          --o3-limit N  --gpus N  --headroom MIB  --burstiness F\n\
+         \x20          --replacement lru|fifo|random  --tenants N  --tenant-cap N\n\
+         trace flags: --ws N  --seed S  --out FILE"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("flag --{key} needs a value");
+            usage();
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v:?}");
+            usage();
+        }),
+        None => default,
+    }
+}
+
+fn policy_of(flags: &HashMap<String, String>) -> Policy {
+    let base = match flags.get("policy").map(String::as_str) {
+        None | Some("lalbo3") => Policy::lalbo3(),
+        Some("lb") => Policy::lb(),
+        Some("lalb") => Policy::lalb(),
+        Some(other) => {
+            eprintln!("unknown policy {other:?}");
+            usage();
+        }
+    };
+    match (base, flags.get("o3-limit")) {
+        (Policy::Lalb { .. }, Some(v)) => Policy::lalb_with_limit(v.parse().unwrap_or_else(|_| {
+            eprintln!("bad --o3-limit {v:?}");
+            usage();
+        })),
+        _ => base,
+    }
+}
+
+fn print_metrics(name: &str, m: &RunMetrics) {
+    println!("{name}:");
+    println!("  completed         {}", m.completed);
+    println!("  avg latency       {:.3} s", m.avg_latency_secs);
+    println!("  p50 / p99 latency {:.3} / {:.3} s", m.p50_latency_secs, m.p99_latency_secs);
+    println!("  latency variance  {:.3}", m.latency_variance);
+    println!("  max latency       {:.3} s", m.max_latency_secs);
+    println!("  miss ratio        {:.4}", m.miss_ratio);
+    println!("  false-miss ratio  {:.4}", m.false_miss_ratio);
+    println!("  SM utilisation    {:.4}", m.sm_utilization);
+    println!("  hot duplicates    {:.3}", m.avg_duplicates);
+    println!("  makespan          {:.1} s", m.makespan_secs);
+    println!("  queue peak        {}", m.queue_peak);
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let policy = policy_of(&flags);
+    let ws: usize = get(&flags, "ws", 25);
+    let seeds: Vec<u64> = match flags.get("seeds") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed {s:?}");
+                    usage();
+                })
+            })
+            .collect(),
+        None => vec![get(&flags, "seed", 11u64)],
+    };
+    let mut runs = Vec::new();
+    for &seed in &seeds {
+        let mut tc = AzureTraceConfig::paper(ws, seed);
+        tc.burstiness = get(&flags, "burstiness", tc.burstiness);
+        let trace = tc.generate();
+        let mut cfg = ClusterConfig::paper_testbed(policy);
+        cfg.num_gpus = get(&flags, "gpus", cfg.num_gpus);
+        cfg.mem_headroom_mib = get(&flags, "headroom", cfg.mem_headroom_mib);
+        cfg.num_tenants = get(&flags, "tenants", cfg.num_tenants);
+        if let Some(cap) = flags.get("tenant-cap") {
+            cfg.tenant_max_inflight = Some(cap.parse().unwrap_or_else(|_| {
+                eprintln!("bad --tenant-cap {cap:?}");
+                usage();
+            }));
+        }
+        cfg.replacement = match flags.get("replacement").map(String::as_str) {
+            None | Some("lru") => ReplacementPolicy::Lru,
+            Some("fifo") => ReplacementPolicy::Fifo,
+            Some("random") => ReplacementPolicy::Random,
+            Some(other) => {
+                eprintln!("unknown replacement {other:?}");
+                usage();
+            }
+        };
+        let m = Cluster::new(cfg, ModelRegistry::table1()).run(&trace);
+        runs.push(m);
+    }
+    if runs.len() == 1 {
+        print_metrics(&format!("{} ws{ws} seed{}", policy.name(), seeds[0]), &runs[0]);
+    } else {
+        let avg = gfaas_bench::AveragedMetrics::from_runs(&runs);
+        println!(
+            "{} ws{ws} over {} seeds: lat {:.3} s  miss {:.4}  false {:.4}  util {:.4}  dup {:.3}",
+            policy.name(),
+            runs.len(),
+            avg.avg_latency_secs,
+            avg.miss_ratio,
+            avg.false_miss_ratio,
+            avg.sm_utilization,
+            avg.avg_duplicates
+        );
+    }
+}
+
+fn cmd_profile() {
+    let registry = ModelRegistry::table1();
+    let profiles = profile_all(&registry, &PcieModel::table1(), 42);
+    let t = TablePrinter::new(&[17, 10, 10, 11]);
+    println!("{}", t.header(&["model", "size(MB)", "load'(s)", "infer32'(s)"]));
+    for p in &profiles {
+        let spec = registry.spec(p.model);
+        println!(
+            "{}",
+            t.row(&[
+                spec.name.to_string(),
+                spec.occupancy_mib.to_string(),
+                format!("{:.2}", p.load_secs),
+                format!("{:.2}", p.infer_secs_b32),
+            ])
+        );
+    }
+}
+
+fn cmd_trace(flags: HashMap<String, String>) {
+    let ws: usize = get(&flags, "ws", 25);
+    let seed: u64 = get(&flags, "seed", 11);
+    let trace = AzureTraceConfig::paper(ws, seed).generate();
+    match flags.get("out") {
+        Some(path) => {
+            let f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            });
+            trace.write_csv(f).expect("write CSV");
+            let s = trace.stats();
+            eprintln!(
+                "wrote {} requests (ws {}, {:.0} req/min) to {path}",
+                s.total, s.working_set, s.rate_per_min
+            );
+        }
+        None => {
+            trace
+                .write_csv(std::io::stdout().lock())
+                .expect("write CSV");
+        }
+    }
+}
+
+fn cmd_sweep() {
+    let t = TablePrinter::new(&[4, 8, 12, 12, 10]);
+    println!(
+        "{}",
+        t.header(&["WS", "policy", "avg_lat(s)", "miss_ratio", "sm_util"])
+    );
+    for ws in WORKING_SETS {
+        for policy in paper_policies() {
+            let m = gfaas_bench::run_replicated(policy, ws, &gfaas_bench::REPORT_SEEDS);
+            println!(
+                "{}",
+                t.row(&[
+                    ws.to_string(),
+                    policy.name(),
+                    format!("{:.2}", m.avg_latency_secs),
+                    format!("{:.3}", m.miss_ratio),
+                    format!("{:.3}", m.sm_utilization),
+                ])
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(parse_flags(&args[1..])),
+        Some("profile") => cmd_profile(),
+        Some("trace") => cmd_trace(parse_flags(&args[1..])),
+        Some("sweep") => cmd_sweep(),
+        _ => usage(),
+    }
+}

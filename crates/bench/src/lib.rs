@@ -1,0 +1,174 @@
+//! `gfaas-bench` — the experiment harness.
+//!
+//! One report binary per table/figure of the paper (see DESIGN.md §4):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1_profiles` | Table I (model occupancy / load / inference) |
+//! | `fig4_comparison` | Fig 4a/4b/4c (latency, miss ratio, SM util) |
+//! | `fig5_false_miss` | Fig 5 (false-miss ratio) |
+//! | `fig6_duplicates` | Fig 6 (hot-model duplicates) |
+//! | `fig7_o3_sensitivity` | Fig 7 (O3 limit sweep) |
+//! | `ablation_replacement` | §VI replacement-policy discussion |
+//! | `ablation_estimation` | finish-time-estimation ablation |
+//!
+//! Criterion benches (`cargo bench`) measure the *implementation's* costs:
+//! scheduler decision throughput, cache-manager ops, the tensor kernels,
+//! and full-experiment wall time.
+//!
+//! This library holds the shared experiment-running and table-formatting
+//! code those binaries use.
+
+use gfaas_core::{Cluster, ClusterConfig, Policy, RunMetrics};
+use gfaas_models::ModelRegistry;
+use gfaas_trace::{AzureTraceConfig, Trace};
+
+/// The working-set sizes the paper sweeps in Figs 4–6.
+pub const WORKING_SETS: [usize; 3] = [15, 25, 35];
+
+/// The three schedulers Figs 4–6 compare.
+pub fn paper_policies() -> [Policy; 3] {
+    [Policy::lb(), Policy::lalb(), Policy::lalbo3()]
+}
+
+/// Generates the paper's workload for a working-set size and seed.
+pub fn paper_trace(working_set: usize, seed: u64) -> Trace {
+    AzureTraceConfig::paper(working_set, seed).generate()
+}
+
+/// Runs one experiment: the paper testbed (12 GPUs) under `policy` on a
+/// working set of `working_set`, with the trace generated from `seed`.
+pub fn run_experiment(policy: Policy, working_set: usize, seed: u64) -> RunMetrics {
+    let trace = paper_trace(working_set, seed);
+    run_on_trace(policy, &trace)
+}
+
+/// Runs one experiment on a pre-generated trace.
+pub fn run_on_trace(policy: Policy, trace: &Trace) -> RunMetrics {
+    let mut cluster = Cluster::new(
+        ClusterConfig::paper_testbed(policy),
+        ModelRegistry::table1(),
+    );
+    cluster.run(trace)
+}
+
+/// Averages metrics across `seeds` trace realisations (reduces the
+/// shuffle-noise in reported numbers; the paper runs real minutes, we can
+/// afford replication).
+pub fn run_replicated(policy: Policy, working_set: usize, seeds: &[u64]) -> AveragedMetrics {
+    let runs: Vec<RunMetrics> = seeds
+        .iter()
+        .map(|&s| run_experiment(policy, working_set, s))
+        .collect();
+    AveragedMetrics::from_runs(&runs)
+}
+
+/// Seed set used by the report binaries.
+pub const REPORT_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Metrics averaged over several trace realisations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedMetrics {
+    /// Mean of per-run average latencies (seconds).
+    pub avg_latency_secs: f64,
+    /// Mean of per-run latency variances.
+    pub latency_variance: f64,
+    /// Mean miss ratio.
+    pub miss_ratio: f64,
+    /// Mean false-miss ratio.
+    pub false_miss_ratio: f64,
+    /// Mean SM utilisation.
+    pub sm_utilization: f64,
+    /// Mean hot-model duplicates.
+    pub avg_duplicates: f64,
+    /// Mean makespan (seconds).
+    pub makespan_secs: f64,
+    /// Number of runs averaged.
+    pub runs: usize,
+}
+
+impl AveragedMetrics {
+    /// Averages a set of runs.
+    pub fn from_runs(runs: &[RunMetrics]) -> Self {
+        let n = runs.len().max(1) as f64;
+        let sum = |f: fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
+        AveragedMetrics {
+            avg_latency_secs: sum(|r| r.avg_latency_secs),
+            latency_variance: sum(|r| r.latency_variance),
+            miss_ratio: sum(|r| r.miss_ratio),
+            false_miss_ratio: sum(|r| r.false_miss_ratio),
+            sm_utilization: sum(|r| r.sm_utilization),
+            avg_duplicates: sum(|r| r.avg_duplicates),
+            makespan_secs: sum(|r| r.makespan_secs),
+            runs: runs.len(),
+        }
+    }
+}
+
+/// Relative reduction `(base - ours) / base`, formatted as the paper
+/// quotes it ("reduces X by NN%").
+pub fn reduction_pct(base: f64, ours: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - ours) / base * 100.0
+    }
+}
+
+/// Fixed-width table printer for the report binaries.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// A printer with the given column widths.
+    pub fn new(widths: &[usize]) -> Self {
+        TablePrinter {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Formats one row.
+    pub fn row(&self, cells: &[String]) -> String {
+        cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+
+    /// Formats a header row plus separator.
+    pub fn header(&self, cells: &[&str]) -> String {
+        let head = self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        let sep = "-".repeat(head.len());
+        format!("{head}\n{sep}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_pct_matches_paper_convention() {
+        assert!((reduction_pct(10.0, 2.0) - 80.0).abs() < 1e-9);
+        assert_eq!(reduction_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn averaged_metrics_mean_runs() {
+        let a = run_experiment(Policy::lalbo3(), 15, 1);
+        let b = a.clone();
+        let avg = AveragedMetrics::from_runs(&[a.clone(), b]);
+        assert_eq!(avg.runs, 2);
+        assert!((avg.avg_latency_secs - a.avg_latency_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_printer_alignment() {
+        let t = TablePrinter::new(&[5, 8]);
+        let r = t.row(&["ab".into(), "1.23".into()]);
+        assert_eq!(r, "   ab      1.23");
+    }
+}

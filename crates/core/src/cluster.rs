@@ -1,0 +1,1099 @@
+//! The cluster driver: Scheduler + Cache Manager + GPU Managers wired to
+//! the discrete-event engine.
+//!
+//! This is the executable form of the paper's Fig 2/Fig 3 architecture.
+//! The driver owns the global queue, the per-GPU units (local queue +
+//! device), and the cache manager, and advances everything on virtual
+//! time. Two event kinds exist:
+//!
+//! * `Arrival` — a trace request enters the global queue; the scheduler
+//!   runs if any GPU is idle.
+//! * `GpuDone` — a GPU finished its in-flight phase. A completed *load*
+//!   rolls straight into the inference that triggered it; a completed
+//!   *inference* records metrics, frees the GPU, and re-runs the scheduler.
+//!
+//! Scheduling passes implement §IV faithfully:
+//!
+//! * a pass runs "when at least one request is waiting in the global queue
+//!   and at least one GPU is idle" — and additionally whenever an idle
+//!   GPU has local-queue work, which Algorithm 1 always serves first;
+//! * idle GPUs are visited in frequency order (hit count, then id) for the
+//!   locality-aware policies and longest-idle order for LB;
+//! * Algorithm 1's visit counters enforce the O3 starvation limit;
+//! * Algorithm 2 (`LocalityLoadBalance`) decides miss-here / hit-elsewhere
+//!   / wait-on-busy by comparing the busy holder's estimated finish time
+//!   against the model's load time.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gfaas_faas::Datastore;
+use gfaas_gpu::{GpuDevice, GpuId, ModelId};
+use gfaas_models::ModelRegistry;
+use gfaas_sim::event::EventQueue;
+use gfaas_sim::time::{SimDuration, SimTime};
+use gfaas_trace::Trace;
+
+use crate::cache::CacheManager;
+use crate::config::ClusterConfig;
+use crate::gpu_manager::{lru_key, status_key, GpuUnit, InFlight, Phase};
+use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::request::Request;
+use crate::scheduler::Policy;
+
+/// Discrete events driving the cluster.
+///
+/// GPU events carry the dispatch sequence token of the work they belong
+/// to; a crash invalidates the token so the stale completion event is
+/// ignored when it fires.
+#[derive(Debug)]
+enum Event {
+    /// A request arrives at the Gateway/Scheduler.
+    Arrival(Request),
+    /// The GPU finished its current phase (load or inference).
+    GpuDone(GpuId, u64),
+    /// The GPU process serving the in-flight request crashed (failure
+    /// injection, `ClusterConfig::crash_rate`).
+    GpuCrash(GpuId, u64),
+}
+
+/// The GPU-enabled FaaS cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    registry: ModelRegistry,
+    units: Vec<GpuUnit>,
+    cache: CacheManager,
+    global_queue: VecDeque<Request>,
+    metrics: MetricsCollector,
+    now: SimTime,
+    last_completion: SimTime,
+    hot_model: Option<ModelId>,
+    local_moves: u64,
+    crashes: u64,
+    dispatch_seq: u64,
+    rng: gfaas_sim::rng::DetRng,
+    datastore: Option<Arc<Datastore>>,
+}
+
+impl Cluster {
+    /// Builds a cluster from a config and a model registry.
+    pub fn new(config: ClusterConfig, registry: ModelRegistry) -> Self {
+        if let Some(specs) = &config.hetero_specs {
+            assert_eq!(
+                specs.len(),
+                config.num_gpus,
+                "hetero_specs length must equal num_gpus"
+            );
+        }
+        let units: Vec<GpuUnit> = (0..config.num_gpus)
+            .map(|i| {
+                let spec = config
+                    .hetero_specs
+                    .as_ref()
+                    .map(|s| s[i].clone())
+                    .unwrap_or_else(|| config.gpu_spec.clone());
+                GpuUnit::new(GpuDevice::new(GpuId(i as u16), spec))
+            })
+            .collect();
+        let cache = CacheManager::new(
+            units.iter().map(|u| u.id()),
+            config.replacement,
+            config.seed,
+        );
+        let rng = gfaas_sim::rng::DetRng::new(config.seed ^ 0xc4a5);
+        Cluster {
+            config,
+            registry,
+            units,
+            cache,
+            global_queue: VecDeque::new(),
+            metrics: MetricsCollector::new(),
+            now: SimTime::ZERO,
+            last_completion: SimTime::ZERO,
+            hot_model: None,
+            local_moves: 0,
+            crashes: 0,
+            dispatch_seq: 0,
+            rng,
+            datastore: None,
+        }
+    }
+
+    /// Attaches a datastore; the cluster then mirrors GPU status, LRU
+    /// lists, and completion latencies into it like the paper's components
+    /// do through etcd. Requires `config.report_to_datastore`.
+    pub fn with_datastore(mut self, ds: Arc<Datastore>) -> Self {
+        self.datastore = Some(ds);
+        self
+    }
+
+    /// Overrides which model Fig 6's duplicates metric tracks (defaults to
+    /// the trace's most-invoked model).
+    pub fn set_hot_model(&mut self, model: ModelId) {
+        self.hot_model = Some(model);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The model registry in use.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Requests moved to busy GPUs' local queues over the run.
+    pub fn local_moves(&self) -> u64 {
+        self.local_moves
+    }
+
+    /// Total evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Injected GPU-process crashes observed during the run.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Per-GPU inference time: the registry profile scaled by this GPU
+    /// type's compute factor (§VI heterogeneity).
+    fn infer_time_on(&self, gi: usize, model: ModelId, batch: usize) -> SimDuration {
+        self.registry
+            .infer_time(model, batch)
+            .mul_f64(self.units[gi].device.spec().compute_scale)
+    }
+
+    /// Per-GPU model load time, scaled likewise.
+    fn load_time_on(&self, gi: usize, model: ModelId) -> SimDuration {
+        self.registry
+            .load_time(model)
+            .mul_f64(self.units[gi].device.spec().load_scale)
+    }
+
+    /// Requests a tenant currently occupies (in flight + local queues).
+    fn tenant_load(&self, tenant: u16) -> usize {
+        self.units
+            .iter()
+            .map(|u| {
+                let inflight = u
+                    .in_flight
+                    .as_ref()
+                    .map_or(0, |f| usize::from(f.request.tenant == tenant));
+                inflight + u.local_queue.iter().filter(|r| r.tenant == tenant).count()
+            })
+            .sum()
+    }
+
+    /// True iff §VI isolation forbids dispatching more work for `tenant`.
+    fn tenant_blocked(&self, tenant: u16) -> bool {
+        match self.config.tenant_max_inflight {
+            Some(cap) => self.tenant_load(tenant) >= cap,
+            None => false,
+        }
+    }
+
+    /// Runs a trace to completion (all requests served) and returns the
+    /// run metrics.
+    pub fn run(&mut self, trace: &Trace) -> RunMetrics {
+        if self.hot_model.is_none() {
+            self.hot_model = trace.hottest_model().map(ModelId);
+        }
+        self.metrics.record_hot_replicas(SimTime::ZERO, 0);
+
+        let mut events: EventQueue<Event> = EventQueue::with_capacity(trace.len() * 2);
+        for (i, r) in trace.requests().iter().enumerate() {
+            events.schedule(
+                r.at,
+                Event::Arrival(
+                    Request::new(
+                        i as u64,
+                        r.function,
+                        ModelId(r.model),
+                        self.config.batch_size,
+                        r.at,
+                    )
+                    .with_tenant((r.function % self.config.num_tenants.max(1) as u32) as u16),
+                ),
+            );
+        }
+
+        while let Some((t, ev)) = events.pop() {
+            debug_assert!(t >= self.now, "event delivered out of order");
+            self.now = t;
+            match ev {
+                Event::Arrival(r) => {
+                    self.global_queue.push_back(r);
+                    self.metrics.observe_queue_len(self.global_queue.len());
+                    self.schedule_pass(&mut events);
+                }
+                Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
+                Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
+            }
+        }
+
+        debug_assert!(self.global_queue.is_empty(), "requests left undispatched");
+        debug_assert!(
+            self.units.iter().all(|u| u.is_idle() && u.local_queue.is_empty()),
+            "GPUs left busy after the event queue drained"
+        );
+
+        let end = self.last_completion;
+        let sm: f64 = self
+            .units
+            .iter()
+            .map(|u| u.device.sm_utilization(SimTime::ZERO, end))
+            .sum::<f64>()
+            / self.units.len().max(1) as f64;
+        std::mem::take(&mut self.metrics).finish(end, sm)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn on_gpu_done(&mut self, g: GpuId, seq: u64, events: &mut EventQueue<Event>) {
+        let gi = g.0 as usize;
+        let Some(inflight) = self.units[gi].in_flight else {
+            return; // stale completion: the work crashed in the meantime
+        };
+        if inflight.seq != seq {
+            return; // stale completion from a crashed dispatch
+        }
+        match inflight.phase {
+            Phase::Loading => {
+                let model = inflight.request.model;
+                self.units[gi]
+                    .device
+                    .complete_load(self.now, model)
+                    .expect("load completion mismatch");
+                let dur = self.infer_time_on(gi, model, inflight.request.batch);
+                let done = self.units[gi]
+                    .device
+                    .start_inference(self.now, model, dur)
+                    .expect("post-load inference start");
+                if let Some(f) = self.units[gi].in_flight.as_mut() {
+                    f.phase = Phase::Running;
+                }
+                self.schedule_inference_outcome(gi, done, dur, events);
+            }
+            Phase::Running => {
+                let model = inflight.request.model;
+                self.units[gi]
+                    .device
+                    .complete_inference(self.now, model)
+                    .expect("inference completion mismatch");
+                let latency = self.now.duration_since(inflight.request.arrival);
+                self.metrics.record_completion(latency);
+                self.last_completion = self.last_completion.max(self.now);
+                if inflight.was_hit {
+                    self.units[gi].hits += 1;
+                }
+                self.units[gi].in_flight = None;
+                self.units[gi].idle_since = self.now;
+                self.report_status(g, "idle");
+                self.report_latency(&inflight.request, latency);
+                self.schedule_pass(events);
+            }
+        }
+    }
+
+    /// Schedules the end of an inference that starts now and completes at
+    /// `done`; with failure injection enabled it may instead crash partway
+    /// through.
+    fn schedule_inference_outcome(
+        &mut self,
+        gi: usize,
+        done: SimTime,
+        dur: SimDuration,
+        events: &mut EventQueue<Event>,
+    ) {
+        let g = self.units[gi].id();
+        let seq = self.units[gi].in_flight.expect("work in flight").seq;
+        if self.config.crash_rate > 0.0 && self.rng.chance(self.config.crash_rate) {
+            let frac = self.rng.range_f64(0.05, 0.95);
+            let crash_at = done - dur.mul_f64(1.0 - frac);
+            events.schedule(crash_at, Event::GpuCrash(g, seq));
+        }
+        events.schedule(done, Event::GpuDone(g, seq));
+    }
+
+    /// Failure injection: the GPU process serving the in-flight request
+    /// died. The model's memory is reclaimed, the cache entry dropped, and
+    /// the request is retried from the head of the global queue (its
+    /// original arrival time is preserved, so the retry's latency reflects
+    /// the crash).
+    fn on_gpu_crash(&mut self, g: GpuId, seq: u64, events: &mut EventQueue<Event>) {
+        let gi = g.0 as usize;
+        let Some(inflight) = self.units[gi].in_flight else {
+            return; // already completed or crashed
+        };
+        if inflight.seq != seq || !matches!(inflight.phase, Phase::Running) {
+            return;
+        }
+        let model = inflight.request.model;
+        self.units[gi]
+            .device
+            .force_kill(self.now, model)
+            .expect("crashing process exists");
+        self.cache.remove(g, model);
+        self.on_residency_change(model);
+        self.units[gi].in_flight = None;
+        self.units[gi].idle_since = self.now;
+        self.crashes += 1;
+        self.report_status(g, "idle");
+        // Retry: the crashed request rejoins the global queue at the
+        // front, followed by any of this GPU's local-queue requests that
+        // were waiting on the now-dead process (their residency
+        // expectation is void).
+        let mut requeue = vec![inflight.request];
+        let mut keep = VecDeque::new();
+        while let Some(r) = self.units[gi].local_queue.pop_front() {
+            if r.model == model {
+                requeue.push(r);
+            } else {
+                keep.push_back(r);
+            }
+        }
+        self.units[gi].local_queue = keep;
+        for r in requeue.into_iter().rev() {
+            self.global_queue.push_front(r);
+        }
+        self.schedule_pass(events);
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling (paper §IV, Algorithms 1 and 2)
+    // ------------------------------------------------------------------
+
+    /// Runs scheduling iterations until no dispatch is possible.
+    fn schedule_pass(&mut self, events: &mut EventQueue<Event>) {
+        loop {
+            let idle = self.idle_order();
+            if idle.is_empty() {
+                break;
+            }
+            let mut progress = false;
+            for gi in idle {
+                if !self.units[gi].is_idle() {
+                    continue; // became busy earlier in this iteration
+                }
+                // Algorithm 1 lines 2–5: the local queue has priority.
+                if let Some(r) = self.units[gi].local_queue.pop_front() {
+                    debug_assert!(
+                        self.cache.is_cached(self.units[gi].id(), r.model),
+                        "local-queue request's model must be resident"
+                    );
+                    self.execute_hit(gi, r, events);
+                    progress = true;
+                    continue;
+                }
+                if self.global_queue.is_empty() {
+                    continue;
+                }
+                progress |= match self.config.policy {
+                    Policy::LoadBalance => self.lb_dispatch(gi, events),
+                    Policy::Lalb { o3_limit } => self.lalb_dispatch(gi, o3_limit, events),
+                };
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Idle GPUs in the order Algorithm 1 visits them.
+    fn idle_order(&self) -> Vec<usize> {
+        let mut idle: Vec<usize> = (0..self.units.len())
+            .filter(|&i| self.units[i].is_idle())
+            .filter(|&i| {
+                !self.units[i].local_queue.is_empty() || !self.global_queue.is_empty()
+            })
+            .collect();
+        match self.config.policy {
+            // "The list of idle GPUs (sorted by frequency)": GPUs serving
+            // more hits first, so hot caches are matched before cold ones.
+            Policy::Lalb { .. } => {
+                idle.sort_by(|&a, &b| {
+                    self.units[b]
+                        .hits
+                        .cmp(&self.units[a].hits)
+                        .then(a.cmp(&b))
+                });
+            }
+            // LB: longest idle first (pure load spreading).
+            Policy::LoadBalance => {
+                idle.sort_by(|&a, &b| {
+                    self.units[a]
+                        .idle_since
+                        .cmp(&self.units[b].idle_since)
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        idle
+    }
+
+    /// LB baseline: head of the global queue to this GPU, locality ignored.
+    fn lb_dispatch(&mut self, gi: usize, events: &mut EventQueue<Event>) -> bool {
+        let Some(head) = self.global_queue.front() else {
+            return false;
+        };
+        if self.tenant_blocked(head.tenant) {
+            return false; // §VI isolation: the head's tenant is at its cap
+        }
+        let r = self.global_queue.pop_front().expect("checked non-empty");
+        if self.cache.is_cached(self.units[gi].id(), r.model) {
+            self.execute_hit(gi, r, events);
+        } else {
+            self.execute_miss(gi, r, events);
+        }
+        true
+    }
+
+    /// Algorithm 1 for one idle GPU. Returns true if any dispatch or
+    /// local-queue move happened.
+    fn lalb_dispatch(
+        &mut self,
+        gi: usize,
+        o3_limit: u32,
+        events: &mut EventQueue<Event>,
+    ) -> bool {
+        let g = self.units[gi].id();
+        let mut progress = false;
+
+        // Lines 6–16: scan the global queue in arrival order for a request
+        // whose model is cached on this GPU; skipped requests accumulate
+        // visits, and a request at the limit is placed immediately.
+        let mut i = 0;
+        while i < self.global_queue.len() {
+            if !self.units[gi].is_idle() {
+                return progress; // this GPU got work via LocalityLoadBalance
+            }
+            if self.tenant_blocked(self.global_queue[i].tenant) {
+                // §VI isolation: capped tenants are passed over without
+                // O3 visit accounting (they are blocked, not skipped).
+                i += 1;
+                continue;
+            }
+            let model = self.global_queue[i].model;
+            if self.cache.is_cached(g, model) {
+                let r = self.global_queue.remove(i).expect("index in bounds");
+                self.execute_hit(gi, r, events);
+                return true;
+            }
+            if self.global_queue[i].visits >= o3_limit {
+                let r = self.global_queue.remove(i).expect("index in bounds");
+                let here = self.locality_load_balance(gi, r, events);
+                progress = true;
+                if here {
+                    return true;
+                }
+                // r went to another GPU or a local queue; the element at
+                // index i is now the next request — do not advance i.
+            } else {
+                self.global_queue[i].visits += 1;
+                i += 1;
+            }
+        }
+
+        // Lines 17–21: no queued request has its model cached here; give
+        // each request (arrival order) its best placement until this GPU
+        // receives one. Capped tenants stay queued.
+        let mut i = 0;
+        while i < self.global_queue.len() {
+            if !self.units[gi].is_idle() {
+                return progress;
+            }
+            if self.tenant_blocked(self.global_queue[i].tenant) {
+                i += 1;
+                continue;
+            }
+            let r = self.global_queue.remove(i).expect("index in bounds");
+            let here = self.locality_load_balance(gi, r, events);
+            progress = true;
+            if here {
+                return true;
+            }
+        }
+        progress
+    }
+
+    /// Algorithm 2. Places `r`, preferring (1) a miss on `gi` if the model
+    /// is cached nowhere, (2) a hit on another idle GPU, (3) the local
+    /// queue of the busy holder with the smallest estimated wait when that
+    /// wait beats the model's load time, (4) otherwise a miss on `gi`.
+    /// Returns true iff the request was dispatched to `gi` itself.
+    fn locality_load_balance(
+        &mut self,
+        gi: usize,
+        r: Request,
+        events: &mut EventQueue<Event>,
+    ) -> bool {
+        let holders = self.cache.gpus_with(r.model);
+        if holders.is_empty() {
+            // Line 1–3: cached nowhere → allow the miss here.
+            self.execute_miss(gi, r, events);
+            return true;
+        }
+        // Lines 4–6: cached on another idle GPU → hit there.
+        if let Some(&j) = holders
+            .iter()
+            .find(|&&j| j != self.units[gi].id() && self.units[j.0 as usize].is_idle())
+        {
+            let ji = j.0 as usize;
+            debug_assert!(
+                self.units[ji].local_queue.is_empty(),
+                "idle GPUs have drained local queues"
+            );
+            self.execute_hit(ji, r, events);
+            return false;
+        }
+        // Lines 8–15: cached only on busy GPUs. Compare the best holder's
+        // estimated finish time against the load time of a cold start.
+        // `busy_wait` ablates this decision (DESIGN.md §4).
+        let load_time = self.load_time_on(gi, r.model);
+        let best = holders
+            .iter()
+            .map(|&j| {
+                let ji = j.0 as usize;
+                let scale = self.units[ji].device.spec().compute_scale;
+                let registry = &self.registry;
+                let wait = self.units[ji]
+                    .estimated_wait(self.now, |m, b| registry.infer_time(m, b).mul_f64(scale));
+                (wait, j)
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        if let Some((wait, j)) = best {
+            let join_queue = match self.config.busy_wait {
+                crate::config::BusyWaitPolicy::Estimate => wait < load_time,
+                crate::config::BusyWaitPolicy::Never => false,
+                crate::config::BusyWaitPolicy::Always => true,
+            };
+            if join_queue {
+                self.units[j.0 as usize].local_queue.push_back(r);
+                self.local_moves += 1;
+                return false;
+            }
+        }
+        // Lines 16–18: the busy hit would be slower → allow the miss here.
+        self.execute_miss(gi, r, events);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch execution
+    // ------------------------------------------------------------------
+
+    /// Starts a cache-hit inference on an idle GPU.
+    fn execute_hit(&mut self, gi: usize, r: Request, events: &mut EventQueue<Event>) {
+        let g = self.units[gi].id();
+        debug_assert!(self.cache.is_cached(g, r.model), "hit without residency");
+        self.metrics.record_dispatch(true, false);
+        self.cache.touch(g, r.model);
+        let dur = self.infer_time_on(gi, r.model, r.batch);
+        let done = self.units[gi]
+            .device
+            .start_inference(self.now, r.model, dur)
+            .expect("hit dispatch on idle GPU");
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        self.units[gi].in_flight = Some(InFlight {
+            request: r,
+            phase: Phase::Running,
+            was_hit: true,
+            started: self.now,
+            seq,
+        });
+        self.report_status(g, "busy");
+        self.schedule_inference_outcome(gi, done, dur, events);
+    }
+
+    /// Starts a cache-miss (load, then inference) on an idle GPU, evicting
+    /// victims as needed.
+    fn execute_miss(&mut self, gi: usize, r: Request, events: &mut EventQueue<Event>) {
+        let g = self.units[gi].id();
+        debug_assert!(!self.cache.is_cached(g, r.model), "miss with residency");
+        let false_miss = self.cache.cached_anywhere(r.model);
+        self.metrics.record_dispatch(false, false_miss);
+
+        let occupancy = self.registry.occupancy_bytes(r.model);
+        // The Cache Manager provisions against capacity minus its OOM
+        // headroom (see `ClusterConfig::mem_headroom_mib`).
+        let headroom = self.config.mem_headroom_mib * gfaas_gpu::MIB;
+        let free = self.units[gi].device.free_bytes().saturating_sub(headroom);
+        let registry = &self.registry;
+        let victims = self
+            .cache
+            .select_victims(g, occupancy, free, |m| registry.occupancy_bytes(m), &[])
+            .unwrap_or_else(|| {
+                panic!(
+                    "model {} ({} B) cannot fit GPU {} ({} B capacity)",
+                    r.model,
+                    occupancy,
+                    g,
+                    self.units[gi].device.spec().memory_bytes
+                )
+            });
+        for v in victims {
+            self.units[gi]
+                .device
+                .evict(v)
+                .expect("victims on an idle GPU are evictable");
+            self.on_residency_change(v);
+        }
+        let load_time = self.load_time_on(gi, r.model);
+        let (_pid, ready) = self.units[gi]
+            .device
+            .start_load_timed(self.now, r.model, occupancy, load_time)
+            .expect("load after eviction fits");
+        self.cache.insert(g, r.model);
+        self.on_residency_change(r.model);
+        self.report_lru(g);
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        self.units[gi].in_flight = Some(InFlight {
+            request: r,
+            phase: Phase::Loading,
+            was_hit: false,
+            started: self.now,
+            seq,
+        });
+        self.report_status(g, "busy");
+        events.schedule(ready, Event::GpuDone(g, seq));
+    }
+
+    fn on_residency_change(&mut self, model: ModelId) {
+        if self.hot_model == Some(model) {
+            self.metrics
+                .record_hot_replicas(self.now, self.cache.replica_count(model));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Datastore mirroring (paper Fig 2: components coordinate via etcd)
+    // ------------------------------------------------------------------
+
+    fn report_status(&self, g: GpuId, status: &str) {
+        if !self.config.report_to_datastore {
+            return;
+        }
+        if let Some(ds) = &self.datastore {
+            ds.put(status_key(g), status.to_string());
+        }
+    }
+
+    fn report_lru(&self, g: GpuId) {
+        if !self.config.report_to_datastore {
+            return;
+        }
+        if let Some(ds) = &self.datastore {
+            let list = self
+                .cache
+                .resident(g)
+                .iter()
+                .map(|m| m.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            ds.put(lru_key(g), list);
+        }
+    }
+
+    fn report_latency(&self, r: &Request, latency: SimDuration) {
+        if !self.config.report_to_datastore {
+            return;
+        }
+        if let Some(ds) = &self.datastore {
+            ds.put(
+                format!("/latency/{}", r.id),
+                format!("{:.6}", latency.as_secs_f64()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfaas_models::zoo::{Family, ModelSpec};
+    use gfaas_trace::TraceRequest;
+
+    /// A registry of `n` identical small models: 100 MiB, 1 s load, 1 s
+    /// inference at batch 32 — easy arithmetic for assertions.
+    fn toy_registry(n: usize) -> ModelRegistry {
+        let specs: Vec<ModelSpec> = (0..n)
+            .map(|i| ModelSpec {
+                name: Box::leak(format!("toy{i}").into_boxed_str()),
+                occupancy_mib: 100,
+                load_secs: 1.0,
+                infer_secs_b32: 1.0,
+                family: Family::ResNet,
+            })
+            .collect();
+        ModelRegistry::from_specs(specs)
+    }
+
+    fn trace_of(reqs: &[(f64, u32)]) -> Trace {
+        Trace::new(
+            reqs.iter()
+                .map(|&(s, m)| TraceRequest {
+                    at: SimTime::from_secs_f64(s),
+                    function: m,
+                    model: m,
+                })
+                .collect(),
+        )
+    }
+
+    fn cluster(gpus: usize, mem_mib: u64, policy: Policy, nmodels: usize) -> Cluster {
+        Cluster::new(
+            ClusterConfig::test(gpus, mem_mib, policy),
+            toy_registry(nmodels),
+        )
+    }
+
+    #[test]
+    fn single_request_is_a_cold_miss() {
+        let mut c = cluster(1, 1000, Policy::lalb(), 1);
+        let m = c.run(&trace_of(&[(0.0, 0)]));
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.miss_ratio, 1.0);
+        assert_eq!(m.false_miss_ratio, 0.0, "cold miss is not a false miss");
+        // Latency = load (1 s) + inference (1 s).
+        assert!((m.avg_latency_secs - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let mut c = cluster(1, 1000, Policy::lalb(), 1);
+        let m = c.run(&trace_of(&[(0.0, 0), (10.0, 0), (20.0, 0)]));
+        assert_eq!(m.completed, 3);
+        assert!((m.miss_ratio - 1.0 / 3.0).abs() < 1e-9);
+        // Hits take only the 1 s inference.
+        assert!((m.max_latency_secs - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lalb_routes_to_the_gpu_with_the_model() {
+        // Two GPUs; model 0 lands on one of them; a later request for
+        // model 0 must hit even though the other GPU is idle (and longest
+        // idle, which would attract an LB dispatch).
+        let mut c = cluster(2, 1000, Policy::lalb(), 2);
+        let m = c.run(&trace_of(&[(0.0, 0), (10.0, 1), (20.0, 0)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.misses, 2, "only the two cold loads miss");
+        assert_eq!(m.false_misses, 0);
+    }
+
+    #[test]
+    fn lb_ignores_locality_and_false_misses() {
+        // Two GPUs. Request A(m0) → gpu0. B(m1) → gpu1. C(m0) arrives when
+        // both idle; LB picks the longest-idle GPU = gpu0 — which *does*
+        // hold m0... so use 3 GPUs to force the false miss deterministically:
+        // gpu2 has been idle longest (never used) and lacks m0.
+        let mut c = cluster(3, 1000, Policy::lb(), 2);
+        let m = c.run(&trace_of(&[(0.0, 0), (10.0, 1), (20.0, 0)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.misses, 3, "LB sends the repeat to the cold GPU");
+        assert_eq!(m.false_misses, 1, "the repeat was cached elsewhere");
+    }
+
+    #[test]
+    fn lalb_waits_on_busy_holder_when_faster_than_loading() {
+        // One GPU holds model 0 and is busy with a 1 s inference; load
+        // time is 1 s. A second request for model 0 arrives mid-inference:
+        // remaining wait (~0.5 s) < load (1 s) → join the local queue, hit.
+        let mut c = cluster(2, 1000, Policy::lalb(), 1);
+        let m = c.run(&trace_of(&[(0.0, 0), (2.5, 0)]));
+        // First: load 1s + infer 1s, busy [0,2]... arrives 2.5 when idle.
+        // Make it overlap instead:
+        assert_eq!(m.completed, 2);
+        let mut c2 = cluster(2, 1000, Policy::lalb(), 1);
+        let m2 = c2.run(&trace_of(&[(0.0, 0), (1.5, 0)]));
+        // At t=1.5 gpu0 is inferring until t=2 (wait 0.5 < load 1).
+        assert_eq!(m2.misses, 1, "second request waits for the busy holder");
+        assert_eq!(c2.local_moves(), 1);
+        // First request: load+infer = 2 s latency. Second: starts at t=2
+        // off the local queue, finishes t=3 → latency 1.5 s.
+        assert!((m2.max_latency_secs - 2.0).abs() < 1e-6);
+        assert!((m2.avg_latency_secs - 1.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lalb_prefers_idle_miss_when_busy_holder_is_slow() {
+        // gpu0 holds model 0 but has a long local backlog; a cold load on
+        // idle gpu1 (1 s) beats waiting. Build backlog with three quick
+        // requests for model 0 arriving together, then the probe.
+        let mut c = cluster(2, 1000, Policy::lalb(), 1);
+        let m = c.run(&trace_of(&[(0.0, 0), (0.1, 0), (0.2, 0), (0.3, 0)]));
+        // t=0: miss on gpu0 (load until 1, infer until 2).
+        // t=0.1: holder busy, wait = 1.9 > load 1 → miss on gpu1.
+        // t=0.2: holders both busy; waits (1.8, 1.9-ish)... with both busy
+        // and no idle GPU nothing dispatches until one frees.
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.misses, 2, "duplicate replica created by load balancing");
+        assert_eq!(m.false_misses, 1, "the replica is a false miss by definition");
+    }
+
+    #[test]
+    fn o3_dispatches_later_hit_ahead_of_head() {
+        // gpu0 holds m0, gpu1 holds m1; both become idle at t≈2. Queue at
+        // that moment: [m2 (cold), m0]. With O3, gpu0 should serve m0
+        // first (hit), skipping m2; m2 then loads on gpu1's... gpu1 scans:
+        // no m1 request; LLB places m2 as a miss there.
+        let mut c = cluster(2, 1000, Policy::lalbo3(), 3);
+        let m = c.run(&trace_of(&[(0.0, 0), (0.0, 1), (1.5, 2), (1.6, 0)]));
+        assert_eq!(m.completed, 4);
+        // Misses: m0 cold, m1 cold, m2 cold = 3. The m0 repeat must hit.
+        assert_eq!(m.misses, 3);
+        assert_eq!(m.hit_ratio, 0.25);
+    }
+
+    #[test]
+    fn lalb_without_o3_serves_in_order() {
+        // Same workload as the O3 test but limit 0: when gpu0 frees up,
+        // the head (m2, cold) is placed there first, and m0's repeat then
+        // replicates m0 onto gpu1 because waiting behind m2's load+infer
+        // (2 s) is slower than a fresh 1 s load. In-order service costs a
+        // fourth miss — and it is a false miss — exactly the behaviour O3
+        // dispatch eliminates (compare `o3_dispatches_later_hit_ahead_of_head`).
+        let mut c = cluster(2, 1000, Policy::lalb(), 3);
+        let m = c.run(&trace_of(&[(0.0, 0), (0.0, 1), (1.5, 2), (1.6, 0)]));
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.misses, 4);
+        assert_eq!(m.false_misses, 1);
+    }
+
+    #[test]
+    fn starvation_limit_bounds_visits() {
+        // One m1 request queues at the head while a long stream of m0
+        // hits arrives behind it (m0 is resident, m1 is not). O3 keeps
+        // skipping the m1 head in favour of the m0 hits, incrementing its
+        // visit counter each pass; once the counter reaches the limit the
+        // head must be dispatched regardless. We read the per-request
+        // latency back through the datastore mirror.
+        let run = |limit: u32| {
+            let mut cfg = ClusterConfig::test(1, 250, Policy::lalb_with_limit(limit));
+            cfg.report_to_datastore = true;
+            let ds = Arc::new(Datastore::new());
+            let mut c =
+                Cluster::new(cfg, toy_registry(2)).with_datastore(Arc::clone(&ds));
+            let mut reqs = vec![(0.0, 0), (0.1, 1)]; // id 0 = m0, id 1 = m1
+            for i in 0..20 {
+                reqs.push((0.2 + i as f64 * 0.01, 0));
+            }
+            let m = c.run(&trace_of(&reqs));
+            assert_eq!(m.completed, 22);
+            let lat: f64 = String::from_utf8(ds.get("/latency/1").unwrap().value.to_vec())
+                .unwrap()
+                .parse()
+                .unwrap();
+            lat
+        };
+        // Limit 2: m1 is skipped twice (t=2, t=3 passes), then force-
+        // dispatched: load 4→5, infer 5→6 → latency ≈ 5.9 s.
+        let bounded = run(2);
+        assert!((bounded - 5.9).abs() < 0.01, "bounded latency {bounded}");
+        // A huge limit starves m1 behind all 20 hits: served at t≈22.
+        let starved = run(1000);
+        assert!(starved > 20.0, "starved latency {starved}");
+    }
+
+    #[test]
+    fn eviction_under_memory_pressure() {
+        // GPU fits two 100 MiB models; touch three models round-robin.
+        let mut c = cluster(1, 250, Policy::lalb(), 3);
+        let m = c.run(&trace_of(&[
+            (0.0, 0),
+            (10.0, 1),
+            (20.0, 2), // evicts m0 (LRU)
+            (30.0, 0), // miss again (was evicted), evicts m1
+        ]));
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.misses, 4);
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn duplicates_metric_tracks_hot_model() {
+        let mut c = cluster(3, 1000, Policy::lb(), 2);
+        // Hot model 0 gets replicated by LB across GPUs.
+        let m = c.run(&trace_of(&[
+            (0.0, 0),
+            (0.1, 0),
+            (0.2, 0),
+            (10.0, 0),
+            (10.1, 0),
+        ]));
+        assert_eq!(m.completed, 5);
+        assert!(m.avg_duplicates > 0.5, "duplicates {:?}", m.avg_duplicates);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = trace_of(&[(0.0, 0), (0.5, 1), (1.0, 2), (1.5, 0), (2.0, 1)]);
+        let m1 = cluster(2, 250, Policy::lalbo3(), 3).run(&t);
+        let m2 = cluster(2, 250, Policy::lalbo3(), 3).run(&t);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn saturated_queue_eventually_drains() {
+        // 50 requests for 5 models on 1 small GPU: heavy thrash, but all
+        // must complete and the makespan must be finite and consistent.
+        let reqs: Vec<(f64, u32)> = (0..50).map(|i| (i as f64 * 0.01, (i % 5) as u32)).collect();
+        let mut c = cluster(1, 250, Policy::lalbo3(), 5);
+        let m = c.run(&trace_of(&reqs));
+        assert_eq!(m.completed, 50);
+        assert!(m.makespan_secs > 50.0, "50 × ≥1 s of serial inference");
+        assert!(m.queue_peak > 10);
+    }
+
+    #[test]
+    fn datastore_mirroring_writes_keys() {
+        let ds = Arc::new(Datastore::new());
+        let mut cfg = ClusterConfig::test(1, 1000, Policy::lalb());
+        cfg.report_to_datastore = true;
+        let mut c = Cluster::new(cfg, toy_registry(1)).with_datastore(Arc::clone(&ds));
+        c.run(&trace_of(&[(0.0, 0)]));
+        assert_eq!(
+            ds.get("/gpu/0/status").unwrap().value,
+            bytes::Bytes::from_static(b"idle")
+        );
+        assert!(ds.get("/gpu/0/lru").is_some());
+        assert!(ds.get("/latency/0").is_some());
+    }
+
+    #[test]
+    fn heterogeneous_gpu_uses_its_own_profile() {
+        // One GPU scaled to half load and half inference time: a cold
+        // request costs 0.5 + 0.5 = 1 s instead of 2 s.
+        let mut cfg = ClusterConfig::test(1, 1000, Policy::lalb());
+        cfg.hetero_specs = Some(vec![gfaas_gpu::GpuSpec::test(1000).with_scales(0.5, 0.5)]);
+        let mut c = Cluster::new(cfg, toy_registry(1));
+        let m = c.run(&trace_of(&[(0.0, 0)]));
+        assert!((m.avg_latency_secs - 1.0).abs() < 1e-6, "{}", m.avg_latency_secs);
+    }
+
+    #[test]
+    fn heterogeneous_estimation_prefers_fast_busy_holder() {
+        // gpu0 (fast, holds m0, busy) vs gpu1 (slow, idle). The fast
+        // holder's estimated wait (0.25 s remaining) beats a slow cold
+        // load (1 s) → the repeat request queues locally and hits.
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalb());
+        cfg.hetero_specs = Some(vec![
+            gfaas_gpu::GpuSpec::test(1000).with_scales(0.5, 0.5),
+            gfaas_gpu::GpuSpec::test(1000),
+        ]);
+        let mut c = Cluster::new(cfg, toy_registry(1));
+        // First m0 at t=0 → fast gpu0 (ids tie-break): busy until t=1.0.
+        // Second m0 at t=0.75: gpu0 wait 0.25 < load-on-gpu1 1.0 → wait.
+        let m = c.run(&trace_of(&[(0.0, 0), (0.75, 0)]));
+        assert_eq!(m.misses, 1, "repeat must wait for the fast holder");
+        assert_eq!(c.local_moves(), 1);
+    }
+
+    #[test]
+    fn tenant_cap_serialises_one_tenant() {
+        // Tenant 0 (even functions) capped at 1 concurrent request; three
+        // of its requests arrive together on a 3-GPU cluster. They must
+        // run one at a time even though GPUs are free.
+        let mut cfg = ClusterConfig::test(3, 1000, Policy::lalbo3());
+        cfg.num_tenants = 2;
+        cfg.tenant_max_inflight = Some(1);
+        let mut c = Cluster::new(cfg, toy_registry(1));
+        let m = c.run(&trace_of(&[(0.0, 0), (0.0, 0), (0.0, 0)]));
+        assert_eq!(m.completed, 3);
+        // Serialised: 2 s (cold) + 1 s + 1 s → last completes at t=4,
+        // so max latency is 4 s (vs 2 s if run in parallel).
+        assert!((m.max_latency_secs - 4.0).abs() < 1e-6, "{}", m.max_latency_secs);
+    }
+
+    #[test]
+    fn tenant_cap_does_not_starve_other_tenants() {
+        // Tenant 0 floods; tenant 1's single request (odd function rank)
+        // must still be served promptly on a free GPU.
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalbo3());
+        cfg.num_tenants = 2;
+        cfg.tenant_max_inflight = Some(1);
+        cfg.report_to_datastore = true;
+        let ds = Arc::new(Datastore::new());
+        let mut c = Cluster::new(cfg, toy_registry(2)).with_datastore(Arc::clone(&ds));
+        // ids: 0..4 are tenant 0 (function 0 → model 0); id 5 is tenant 1.
+        let m = c.run(&trace_of(&[
+            (0.0, 0),
+            (0.0, 0),
+            (0.0, 0),
+            (0.0, 0),
+            (0.0, 0),
+            (0.1, 1),
+        ]));
+        assert_eq!(m.completed, 6);
+        let lat: f64 = String::from_utf8(ds.get("/latency/5").unwrap().value.to_vec())
+            .unwrap()
+            .parse()
+            .unwrap();
+        // Tenant 1's request cold-loads immediately on the second GPU:
+        // ~2 s, not behind tenant 0's ~6 s backlog.
+        assert!(lat < 2.5, "tenant 1 latency {lat}");
+    }
+
+    #[test]
+    fn crashes_are_retried_and_complete() {
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalbo3());
+        cfg.crash_rate = 0.3;
+        cfg.seed = 5;
+        let mut c = Cluster::new(cfg, toy_registry(3));
+        let reqs: Vec<(f64, u32)> = (0..40).map(|i| (i as f64 * 0.8, (i % 3) as u32)).collect();
+        let m = c.run(&trace_of(&reqs));
+        // Every request completes exactly once despite crashes.
+        assert_eq!(m.completed, 40);
+        assert!(c.crashes() > 0, "30% crash rate must fire at least once");
+        // A crashed model was evicted, so crashes inflate the miss count
+        // beyond the distinct-model minimum.
+        assert!(m.misses > 3);
+        // Ratios stay sane.
+        assert!(m.miss_ratio <= 1.0 && m.hit_ratio <= 1.0);
+    }
+
+    #[test]
+    fn crash_free_config_never_crashes() {
+        let mut c = cluster(2, 1000, Policy::lalbo3(), 2);
+        let m = c.run(&trace_of(&[(0.0, 0), (1.0, 1), (2.0, 0)]));
+        assert_eq!(c.crashes(), 0);
+        assert_eq!(m.completed, 3);
+    }
+
+    #[test]
+    fn crash_latency_includes_the_retry() {
+        // With crash_rate 1.0 nothing would ever complete (every attempt
+        // crashes); use a rate that certainly fires on the first draw for
+        // this seed but lets the retry through. Probe seeds for one where
+        // exactly the first attempt crashes.
+        for seed in 0..50u64 {
+            let mut cfg = ClusterConfig::test(1, 1000, Policy::lalb());
+            cfg.crash_rate = 0.5;
+            cfg.seed = seed;
+            let mut c = Cluster::new(cfg, toy_registry(1));
+            let m = c.run(&trace_of(&[(0.0, 0)]));
+            assert_eq!(m.completed, 1);
+            if c.crashes() == 1 {
+                // load 1s + partial inference + reload 1s + inference 1s
+                // → latency strictly above the crash-free 2 s.
+                assert!(m.avg_latency_secs > 2.0, "latency {}", m.avg_latency_secs);
+                return;
+            }
+        }
+        panic!("no seed in 0..50 produced exactly one crash");
+    }
+
+    #[test]
+    fn sm_utilization_counts_inference_only() {
+        // One request: load 1 s + infer 1 s → SM busy 1 of 2 s.
+        let mut c = cluster(1, 1000, Policy::lalb(), 1);
+        let m = c.run(&trace_of(&[(0.0, 0)]));
+        assert!((m.sm_utilization - 0.5).abs() < 1e-6);
+    }
+}

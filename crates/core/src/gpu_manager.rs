@@ -1,0 +1,211 @@
+//! Per-GPU execution state and finish-time estimation (paper §III-C).
+//!
+//! The paper runs one GPU Manager per node; each manages its GPUs'
+//! processes, enforces one-request-at-a-time, reports busy/idle status, and
+//! estimates the finish time of a GPU's queued work — the quantity
+//! Algorithm 2 compares against a model's load time when deciding between
+//! a hit on a busy GPU and a miss on an idle one.
+//!
+//! [`GpuUnit`] is that per-GPU state: the simulated device, the local
+//! queue of requests scheduled to it while busy, the in-flight request, and
+//! the hit counter used to sort idle GPUs "by frequency" (Algorithm 1's
+//! input ordering).
+
+use std::collections::VecDeque;
+
+use gfaas_gpu::{GpuDevice, GpuId, ModelId};
+use gfaas_sim::time::{SimDuration, SimTime};
+
+use crate::request::Request;
+
+/// Which phase the in-flight request is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Uploading the model (cache-miss path).
+    Loading,
+    /// Running the inference.
+    Running,
+}
+
+/// The request currently executing on a GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct InFlight {
+    /// The request.
+    pub request: Request,
+    /// Load-then-infer (miss) or infer-only (hit).
+    pub phase: Phase,
+    /// Whether the dispatch was a cache hit.
+    pub was_hit: bool,
+    /// When execution started on the device.
+    pub started: SimTime,
+    /// Dispatch sequence token; completion/crash events must match it
+    /// (a crash invalidates the token so stale completions are ignored).
+    pub seq: u64,
+}
+
+/// Per-GPU execution state.
+#[derive(Debug)]
+pub struct GpuUnit {
+    /// The simulated device.
+    pub device: GpuDevice,
+    /// Requests scheduled to this GPU while it was busy (always cache hits
+    /// by construction — Algorithm 2 only moves a request here when the
+    /// model is resident).
+    pub local_queue: VecDeque<Request>,
+    /// The in-flight request, if any.
+    pub in_flight: Option<InFlight>,
+    /// Cache hits served; Algorithm 1 sorts idle GPUs by this frequency.
+    pub hits: u64,
+    /// When the GPU last became idle (for the LB baseline's longest-idle
+    /// selection).
+    pub idle_since: SimTime,
+}
+
+impl GpuUnit {
+    /// Wraps a fresh device.
+    pub fn new(device: GpuDevice) -> Self {
+        GpuUnit {
+            device,
+            local_queue: VecDeque::new(),
+            in_flight: None,
+            hits: 0,
+            idle_since: SimTime::ZERO,
+        }
+    }
+
+    /// The device id.
+    pub fn id(&self) -> GpuId {
+        self.device.id()
+    }
+
+    /// True iff no request is in flight (the *device* may briefly report
+    /// idle between load completion and inference start; the unit is the
+    /// authority).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Estimated time from `now` until this GPU has drained its current
+    /// request and local queue (paper: "the time to wait for the busy GPU
+    /// to finish its current request and requests already queued in its
+    /// local queue"). If the in-flight request is still uploading its
+    /// model, its own inference is still ahead and counts too. Local-queue
+    /// entries are hits, so they cost only inference time. `infer_time`
+    /// maps (model, batch) to latency.
+    pub fn estimated_wait(
+        &self,
+        now: SimTime,
+        infer_time: impl Fn(ModelId, usize) -> SimDuration,
+    ) -> SimDuration {
+        let mut wait = self
+            .device
+            .busy_until()
+            .map(|t| t.duration_since(now))
+            .unwrap_or(SimDuration::ZERO);
+        if let Some(f) = &self.in_flight {
+            if f.phase == Phase::Loading {
+                wait += infer_time(f.request.model, f.request.batch);
+            }
+        }
+        wait
+            + self
+                .local_queue
+                .iter()
+                .map(|r| infer_time(r.model, r.batch))
+                .sum()
+    }
+
+    /// Estimated finish time of a *new* hit request appended after the
+    /// queue (wait + its own inference).
+    pub fn estimated_finish(
+        &self,
+        now: SimTime,
+        request: &Request,
+        infer_time: impl Fn(ModelId, usize) -> SimDuration,
+    ) -> SimDuration {
+        self.estimated_wait(now, &infer_time) + infer_time(request.model, request.batch)
+    }
+}
+
+/// Status string the GPU Manager publishes to the Datastore (paper: the
+/// Scheduler reads GPU busy/idle status and estimated finish times from
+/// etcd).
+pub fn status_key(gpu: GpuId) -> String {
+    format!("/gpu/{}/status", gpu.0)
+}
+
+/// Datastore key for a GPU's LRU list.
+pub fn lru_key(gpu: GpuId) -> String {
+    format!("/gpu/{}/lru", gpu.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfaas_gpu::{GpuSpec, MIB};
+
+    fn unit() -> GpuUnit {
+        GpuUnit::new(GpuDevice::new(GpuId(3), GpuSpec::test(8192)))
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn req(id: u64, model: u32) -> Request {
+        Request::new(id, 0, ModelId(model), 32, SimTime::ZERO)
+    }
+
+    #[test]
+    fn idle_unit_has_zero_wait() {
+        let u = unit();
+        assert!(u.is_idle());
+        assert_eq!(u.estimated_wait(t(0), |_, _| d(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wait_includes_current_work_and_local_queue() {
+        let mut u = unit();
+        // Occupy the device until t=10.
+        let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
+        u.device.complete_load(ready, ModelId(0)).unwrap();
+        u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
+        u.in_flight = Some(InFlight {
+            request: req(1, 0),
+            phase: Phase::Running,
+            was_hit: true,
+            started: ready,
+            seq: 0,
+        });
+        u.local_queue.push_back(req(2, 0));
+        u.local_queue.push_back(req(3, 0));
+        let wait = u.estimated_wait(ready, |_, _| d(2));
+        // Remaining inference (10 s) + 2 local hits × 2 s.
+        assert_eq!(wait, d(14));
+        let finish = u.estimated_finish(ready, &req(4, 0), |_, _| d(2));
+        assert_eq!(finish, d(16));
+        assert!(!u.is_idle());
+    }
+
+    #[test]
+    fn wait_shrinks_as_time_passes() {
+        let mut u = unit();
+        let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
+        u.device.complete_load(ready, ModelId(0)).unwrap();
+        u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
+        let early = u.estimated_wait(ready, |_, _| d(0));
+        let late = u.estimated_wait(ready + d(6), |_, _| d(0));
+        assert_eq!(early, d(10));
+        assert_eq!(late, d(4));
+    }
+
+    #[test]
+    fn datastore_keys_are_stable() {
+        assert_eq!(status_key(GpuId(7)), "/gpu/7/status");
+        assert_eq!(lru_key(GpuId(0)), "/gpu/0/lru");
+    }
+}

@@ -1,0 +1,42 @@
+//! `gfaas-core` — the paper's contribution: GPU-enabled FaaS with
+//! co-designed scheduling and cache management.
+//!
+//! Three components extend the FaaS substrate (`gfaas-faas`) with GPU
+//! support (paper Fig 2):
+//!
+//! * [`cache::CacheManager`] — global; treats models uploaded to each GPU's
+//!   memory as cache items under per-GPU LRU lists (FIFO/random available
+//!   for the §VI ablation), picks eviction victims on misses, and maintains
+//!   the model→GPUs residency index the scheduler searches.
+//! * [`gpu_manager`] — per-GPU execution state: the local queue, the
+//!   in-flight request, hit counters, and the estimated-finish-time
+//!   computation Algorithm 2 compares against model load time.
+//! * [`scheduler`] — the policies: the default load-balancing baseline
+//!   (**LB**), locality-aware load balancing (**LALB**, Algorithms 1–2),
+//!   and LALB with out-of-order dispatch (**LALB+O3**) with its
+//!   starvation limit.
+//!
+//! [`cluster::Cluster`] wires everything to the discrete-event engine and
+//! runs a workload trace to completion, producing [`metrics::RunMetrics`] —
+//! exactly the quantities the paper's Figs 4–7 plot (average latency,
+//! cache miss ratio, SM utilisation, false-miss ratio, hot-model
+//! duplicates, latency variance).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cluster;
+pub mod config;
+pub mod gpu_manager;
+pub mod live;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+
+pub use cache::{CacheManager, ReplacementPolicy};
+pub use cluster::Cluster;
+pub use live::{LiveResponse, LiveServer};
+pub use config::ClusterConfig;
+pub use metrics::RunMetrics;
+pub use request::Request;
+pub use scheduler::Policy;

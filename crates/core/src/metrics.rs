@@ -1,0 +1,209 @@
+//! Run metrics: exactly the quantities the paper's evaluation plots.
+//!
+//! * Fig 4a — average function latency (arrival → completion);
+//! * Fig 4b — cache miss ratio over scheduling decisions;
+//! * Fig 4c — average SM utilisation across GPUs;
+//! * Fig 5  — false-miss ratio: misses dispatched while the model was
+//!   resident on *another* GPU, over all misses;
+//! * Fig 6  — time-averaged number of GPUs holding the hottest model;
+//! * Fig 7  — latency variance (the O3 sensitivity study).
+
+use gfaas_sim::stats::{Histogram, Ratio, TimeWeighted, Welford};
+use gfaas_sim::time::{SimDuration, SimTime};
+
+/// Live collector, updated by the cluster driver as events complete.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    latency: Welford,
+    latency_hist: Histogram,
+    hits: Ratio,
+    false_misses: u64,
+    duplicates: TimeWeighted,
+    completed: u64,
+    queue_peak: usize,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector {
+            latency: Welford::new(),
+            // 1-second bins over 10 minutes of latency; quantiles are
+            // exact (the histogram keeps samples), bins are for display.
+            latency_hist: Histogram::new(1.0, 600),
+            hits: Ratio::new(),
+            false_misses: 0,
+            duplicates: TimeWeighted::new(),
+            completed: 0,
+            queue_peak: 0,
+        }
+    }
+}
+
+impl MetricsCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        MetricsCollector::default()
+    }
+
+    /// Records a completed request's end-to-end latency.
+    pub fn record_completion(&mut self, latency: SimDuration) {
+        self.latency.push_duration(latency);
+        self.latency_hist.push(latency.as_secs_f64());
+        self.completed += 1;
+    }
+
+    /// Records a scheduling decision: hit or miss, and — for misses —
+    /// whether the model was resident elsewhere (a false miss, Fig 5).
+    pub fn record_dispatch(&mut self, hit: bool, false_miss: bool) {
+        self.hits.record(hit);
+        if false_miss {
+            debug_assert!(!hit, "a hit cannot be a false miss");
+            self.false_misses += 1;
+        }
+    }
+
+    /// Records a change in the hottest model's replica count at time `t`.
+    pub fn record_hot_replicas(&mut self, t: SimTime, replicas: usize) {
+        self.duplicates.set(t, replicas as f64);
+    }
+
+    /// Tracks the global queue's high-water mark.
+    pub fn observe_queue_len(&mut self, len: usize) {
+        self.queue_peak = self.queue_peak.max(len);
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Finalises the run into a [`RunMetrics`]. `sm_utilization` is
+    /// computed by the caller from the devices; `end` is the completion
+    /// time of the last request.
+    pub fn finish(mut self, end: SimTime, sm_utilization: f64) -> RunMetrics {
+        let misses = self.hits.misses();
+        let p50 = self.latency_hist.quantile(0.5).unwrap_or(0.0);
+        let p99 = self.latency_hist.quantile(0.99).unwrap_or(0.0);
+        RunMetrics {
+            p50_latency_secs: p50,
+            p99_latency_secs: p99,
+            completed: self.completed,
+            avg_latency_secs: self.latency.mean(),
+            latency_variance: self.latency.variance(),
+            max_latency_secs: self.latency.max(),
+            miss_ratio: self.hits.complement(),
+            hit_ratio: self.hits.ratio(),
+            false_miss_ratio: if misses == 0 {
+                0.0
+            } else {
+                self.false_misses as f64 / misses as f64
+            },
+            false_misses: self.false_misses,
+            misses,
+            sm_utilization,
+            avg_duplicates: self.duplicates.average_until(end),
+            makespan_secs: end.as_secs_f64(),
+            queue_peak: self.queue_peak,
+        }
+    }
+}
+
+/// Final metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean end-to-end latency in seconds (Fig 4a).
+    pub avg_latency_secs: f64,
+    /// Population variance of latency (Fig 7's right axis companion).
+    pub latency_variance: f64,
+    /// Median end-to-end latency in seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile end-to-end latency in seconds.
+    pub p99_latency_secs: f64,
+    /// Worst latency observed.
+    pub max_latency_secs: f64,
+    /// Misses / decisions (Fig 4b).
+    pub miss_ratio: f64,
+    /// Hits / decisions.
+    pub hit_ratio: f64,
+    /// False misses / misses (Fig 5).
+    pub false_miss_ratio: f64,
+    /// Raw false-miss count.
+    pub false_misses: u64,
+    /// Raw miss count.
+    pub misses: u64,
+    /// Mean SM utilisation across GPUs over the makespan (Fig 4c).
+    pub sm_utilization: f64,
+    /// Time-averaged replicas of the hottest model (Fig 6).
+    pub avg_duplicates: f64,
+    /// Completion time of the last request, seconds.
+    pub makespan_secs: f64,
+    /// Global-queue high-water mark.
+    pub queue_peak: usize,
+}
+
+impl RunMetrics {
+    /// Relative reduction of `ours` vs a `baseline` value, as the paper
+    /// reports ("reduces X of LB by NN%"). Positive = improvement.
+    pub fn reduction(baseline: f64, ours: f64) -> f64 {
+        if baseline == 0.0 {
+            0.0
+        } else {
+            (baseline - ours) / baseline
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_latency_and_ratios() {
+        let mut c = MetricsCollector::new();
+        c.record_completion(SimDuration::from_secs(2));
+        c.record_completion(SimDuration::from_secs(4));
+        c.record_dispatch(true, false);
+        c.record_dispatch(false, true);
+        c.record_dispatch(false, false);
+        c.observe_queue_len(7);
+        c.observe_queue_len(3);
+        let m = c.finish(SimTime::from_secs(100), 0.5);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.p50_latency_secs, 2.0);
+        assert_eq!(m.p99_latency_secs, 4.0);
+        assert!((m.avg_latency_secs - 3.0).abs() < 1e-12);
+        assert!((m.latency_variance - 1.0).abs() < 1e-12);
+        assert!((m.miss_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.false_miss_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(m.queue_peak, 7);
+        assert_eq!(m.makespan_secs, 100.0);
+        assert_eq!(m.sm_utilization, 0.5);
+    }
+
+    #[test]
+    fn duplicates_time_average() {
+        let mut c = MetricsCollector::new();
+        c.record_hot_replicas(SimTime::from_secs(0), 1);
+        c.record_hot_replicas(SimTime::from_secs(50), 3);
+        let m = c.finish(SimTime::from_secs(100), 0.0);
+        assert!((m.avg_duplicates - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let m = MetricsCollector::new().finish(SimTime::ZERO, 0.0);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.avg_latency_secs, 0.0);
+        assert_eq!(m.miss_ratio, 0.0);
+        assert_eq!(m.false_miss_ratio, 0.0);
+    }
+
+    #[test]
+    fn reduction_helper() {
+        assert!((RunMetrics::reduction(10.0, 2.0) - 0.8).abs() < 1e-12);
+        assert_eq!(RunMetrics::reduction(0.0, 5.0), 0.0);
+        assert!(RunMetrics::reduction(2.0, 4.0) < 0.0);
+    }
+}

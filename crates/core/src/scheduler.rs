@@ -1,0 +1,99 @@
+//! Scheduling policies (paper §IV).
+//!
+//! * **LB** — the default load-balancing baseline: "simply dispatches the
+//!   request at the head of the global queue whenever a GPU becomes idle"
+//!   (§V-A). When several GPUs are idle, the longest-idle one is used
+//!   (classic load balancing); locality is ignored, though an accidental
+//!   hit still skips the upload.
+//! * **LALB** — locality-aware load balancing, Algorithms 1 and 2. The
+//!   O3 limit is 0: requests are considered strictly in arrival order, but
+//!   each is *placed* with locality awareness (idle GPU with the model →
+//!   hit; busy GPU with the model that will free up sooner than a model
+//!   load → local queue; otherwise a miss on the idle GPU).
+//! * **LALB+O3** — the same with out-of-order dispatch: a later request
+//!   whose model is cached on the idle GPU may jump the queue; every
+//!   request it jumps over has its visit counter incremented, and a request
+//!   whose counter reaches the limit (default 25) is dispatched immediately
+//!   via `LocalityLoadBalance` regardless of hit or miss (§IV-B's
+//!   starvation guard).
+//!
+//! The algorithm implementation lives in [`crate::cluster`], which owns the
+//! state the pseudo-code mutates; this module defines the policy surface.
+
+/// The paper's default starvation limit for out-of-order dispatch.
+pub const DEFAULT_O3_LIMIT: u32 = 25;
+
+/// A scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Default load balancing (the paper's baseline).
+    LoadBalance,
+    /// Locality-aware load balancing; `o3_limit == 0` disables
+    /// out-of-order dispatch (pure LALB), `o3_limit > 0` enables it
+    /// (LALB+O3) with that many allowed skips per request.
+    Lalb {
+        /// Maximum times a request may be skipped before it is dispatched
+        /// unconditionally.
+        o3_limit: u32,
+    },
+}
+
+impl Policy {
+    /// The LB baseline.
+    pub fn lb() -> Policy {
+        Policy::LoadBalance
+    }
+
+    /// LALB without out-of-order dispatch.
+    pub fn lalb() -> Policy {
+        Policy::Lalb { o3_limit: 0 }
+    }
+
+    /// LALB with out-of-order dispatch at the paper's default limit (25).
+    pub fn lalbo3() -> Policy {
+        Policy::Lalb {
+            o3_limit: DEFAULT_O3_LIMIT,
+        }
+    }
+
+    /// LALB with out-of-order dispatch at a custom limit (Fig 7's sweep).
+    pub fn lalb_with_limit(o3_limit: u32) -> Policy {
+        Policy::Lalb { o3_limit }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::LoadBalance => "LB".to_string(),
+            Policy::Lalb { o3_limit: 0 } => "LALB".to_string(),
+            Policy::Lalb { o3_limit } if *o3_limit == DEFAULT_O3_LIMIT => "LALBO3".to_string(),
+            Policy::Lalb { o3_limit } => format!("LALBO3(limit={o3_limit})"),
+        }
+    }
+
+    /// True for the locality-aware variants.
+    pub fn is_locality_aware(&self) -> bool {
+        matches!(self, Policy::Lalb { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_names() {
+        assert_eq!(Policy::lb().name(), "LB");
+        assert_eq!(Policy::lalb().name(), "LALB");
+        assert_eq!(Policy::lalbo3().name(), "LALBO3");
+        assert_eq!(Policy::lalb_with_limit(45).name(), "LALBO3(limit=45)");
+        assert_eq!(Policy::lalbo3(), Policy::lalb_with_limit(25));
+    }
+
+    #[test]
+    fn lalb_is_limit_zero() {
+        assert_eq!(Policy::lalb(), Policy::Lalb { o3_limit: 0 });
+        assert!(Policy::lalb().is_locality_aware());
+        assert!(!Policy::lb().is_locality_aware());
+    }
+}

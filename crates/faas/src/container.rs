@@ -1,0 +1,257 @@
+//! Container lifecycle and per-function scaling.
+//!
+//! The orchestration layer beneath the FaaS framework (Kubernetes/Swarm in
+//! the paper) manages one container pool per function and scales it with
+//! demand. The simulation needs only the lifecycle facts: containers take
+//! time to cold-start, replicas are bounded, and the Datastore's metrics
+//! can drive scale decisions.
+
+use std::collections::HashMap;
+
+use gfaas_sim::time::{SimDuration, SimTime};
+
+/// Identifies one container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContainerId(pub u64);
+
+/// Container lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Created, still cold-starting; ready at the embedded time.
+    Starting {
+        /// When the cold start completes.
+        ready_at: SimTime,
+    },
+    /// Accepting invocations.
+    Running,
+    /// Stopped (scaled down or failed).
+    Terminated,
+}
+
+/// One function container.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Container id.
+    pub id: ContainerId,
+    /// The function it serves.
+    pub function: String,
+    /// Lifecycle state.
+    pub state: ContainerState,
+    /// Creation time.
+    pub created_at: SimTime,
+}
+
+/// Scaling bounds for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingPolicy {
+    /// Minimum replicas kept warm.
+    pub min_replicas: usize,
+    /// Maximum replicas.
+    pub max_replicas: usize,
+    /// Invocations-per-minute per replica before scaling out.
+    pub target_per_replica: u64,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        ScalingPolicy {
+            min_replicas: 1,
+            max_replicas: 20,
+            target_per_replica: 60,
+        }
+    }
+}
+
+impl ScalingPolicy {
+    /// Desired replica count for an observed invocation rate (per minute).
+    pub fn desired_replicas(&self, rate_per_min: u64) -> usize {
+        let need = rate_per_min.div_ceil(self.target_per_replica.max(1)) as usize;
+        need.clamp(self.min_replicas, self.max_replicas)
+    }
+}
+
+/// The per-function container pool.
+#[derive(Debug, Default)]
+pub struct ContainerPool {
+    containers: HashMap<ContainerId, Container>,
+    next_id: u64,
+    cold_start: SimDuration,
+}
+
+impl ContainerPool {
+    /// A pool whose containers cold-start in `cold_start`.
+    pub fn new(cold_start: SimDuration) -> Self {
+        ContainerPool {
+            containers: HashMap::new(),
+            next_id: 0,
+            cold_start,
+        }
+    }
+
+    /// Launches a container for `function` at `now`; it becomes ready after
+    /// the pool's cold-start delay.
+    pub fn launch(&mut self, function: &str, now: SimTime) -> ContainerId {
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Container {
+                id,
+                function: function.to_string(),
+                state: ContainerState::Starting {
+                    ready_at: now + self.cold_start,
+                },
+                created_at: now,
+            },
+        );
+        id
+    }
+
+    /// Promotes due `Starting` containers to `Running` at `now`. Returns
+    /// how many became ready.
+    pub fn tick(&mut self, now: SimTime) -> usize {
+        let mut promoted = 0;
+        for c in self.containers.values_mut() {
+            if let ContainerState::Starting { ready_at } = c.state {
+                if now >= ready_at {
+                    c.state = ContainerState::Running;
+                    promoted += 1;
+                }
+            }
+        }
+        promoted
+    }
+
+    /// Terminates one running container of `function`; returns whether one
+    /// was found.
+    pub fn terminate_one(&mut self, function: &str) -> bool {
+        if let Some(c) = self
+            .containers
+            .values_mut()
+            .find(|c| c.function == function && matches!(c.state, ContainerState::Running))
+        {
+            c.state = ContainerState::Terminated;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Live (starting or running) replicas of `function`.
+    pub fn replicas(&self, function: &str) -> usize {
+        self.containers
+            .values()
+            .filter(|c| c.function == function && !matches!(c.state, ContainerState::Terminated))
+            .count()
+    }
+
+    /// Running replicas of `function`.
+    pub fn running(&self, function: &str) -> usize {
+        self.containers
+            .values()
+            .filter(|c| c.function == function && matches!(c.state, ContainerState::Running))
+            .count()
+    }
+
+    /// Applies a scaling decision: launches or terminates replicas until
+    /// the live count matches `policy.desired_replicas(rate)`. Returns the
+    /// signed replica delta.
+    pub fn reconcile(
+        &mut self,
+        function: &str,
+        rate_per_min: u64,
+        policy: ScalingPolicy,
+        now: SimTime,
+    ) -> i64 {
+        let desired = policy.desired_replicas(rate_per_min);
+        let mut delta = 0i64;
+        while self.replicas(function) < desired {
+            self.launch(function, now);
+            delta += 1;
+        }
+        while self.replicas(function) > desired {
+            if !self.terminate_one(function) {
+                break; // only starting containers left; let them come up
+            }
+            delta -= 1;
+        }
+        delta
+    }
+
+    /// A container by id.
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn launch_cold_start_then_running() {
+        let mut pool = ContainerPool::new(SimDuration::from_secs(2));
+        let id = pool.launch("f", t(0));
+        assert!(matches!(
+            pool.get(id).unwrap().state,
+            ContainerState::Starting { .. }
+        ));
+        assert_eq!(pool.tick(t(1)), 0);
+        assert_eq!(pool.tick(t(2)), 1);
+        assert!(matches!(pool.get(id).unwrap().state, ContainerState::Running));
+        assert_eq!(pool.running("f"), 1);
+    }
+
+    #[test]
+    fn desired_replicas_respects_bounds() {
+        let p = ScalingPolicy {
+            min_replicas: 2,
+            max_replicas: 5,
+            target_per_replica: 100,
+        };
+        assert_eq!(p.desired_replicas(0), 2);
+        assert_eq!(p.desired_replicas(250), 3);
+        assert_eq!(p.desired_replicas(10_000), 5);
+    }
+
+    #[test]
+    fn reconcile_scales_out_and_in() {
+        let mut pool = ContainerPool::new(SimDuration::ZERO);
+        let policy = ScalingPolicy {
+            min_replicas: 1,
+            max_replicas: 10,
+            target_per_replica: 60,
+        };
+        let up = pool.reconcile("f", 325, policy, t(0));
+        assert_eq!(up, 6); // ceil(325/60)
+        pool.tick(t(0));
+        let down = pool.reconcile("f", 30, policy, t(60));
+        assert_eq!(down, -5);
+        assert_eq!(pool.replicas("f"), 1);
+    }
+
+    #[test]
+    fn functions_scale_independently() {
+        let mut pool = ContainerPool::new(SimDuration::ZERO);
+        pool.launch("a", t(0));
+        pool.launch("b", t(0));
+        pool.launch("b", t(0));
+        assert_eq!(pool.replicas("a"), 1);
+        assert_eq!(pool.replicas("b"), 2);
+        pool.tick(t(0));
+        assert!(pool.terminate_one("b"));
+        assert_eq!(pool.replicas("b"), 1);
+        assert_eq!(pool.replicas("a"), 1);
+    }
+
+    #[test]
+    fn terminate_without_running_replicas_is_false() {
+        let mut pool = ContainerPool::new(SimDuration::from_secs(100));
+        pool.launch("f", t(0)); // still starting
+        assert!(!pool.terminate_one("f"));
+    }
+}

@@ -1,0 +1,61 @@
+//! `gfaas-gpu` — a deterministic simulated GPU device.
+//!
+//! The paper evaluates on three nodes with four GeForce RTX 2080 GPUs each.
+//! We have no silicon, so this crate substitutes a device *model* that
+//! reproduces exactly the properties the paper's scheduler and cache manager
+//! depend on (see DESIGN.md §2):
+//!
+//! 1. **Bounded device memory with OOM semantics** — [`memory::MemoryPool`]
+//!    tracks per-process allocations against the 8 GiB capacity; exceeding it
+//!    is an explicit error, mirroring CUDA's `cudaErrorMemoryAllocation`.
+//! 2. **PCIe model-upload cost** — [`pcie::PcieModel`] converts a model's
+//!    byte size into a transfer latency. Calibrated against Table I of the
+//!    paper: an effective ~1.6 GB/s link plus a fixed process-init overhead
+//!    reproduces the paper's measured 2.3–4.4 s load times.
+//! 3. **Exclusive execution** — [`device::GpuDevice`] is a state machine
+//!    (idle → loading → running → idle) enforcing the paper's
+//!    one-request-at-a-time rule.
+//! 4. **SM utilisation accounting** — [`sm::SmTracker`] integrates the time
+//!    the streaming multiprocessors spend in inference compute (upload time
+//!    counts as zero SM), which is what Fig 4c plots.
+//!
+//! The device is *passive*: all timestamps are supplied by the discrete-event
+//! driver in `gfaas-core`, so the same device code runs under virtual time in
+//! experiments and under wall-clock time in the live examples.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod memory;
+pub mod pcie;
+pub mod process;
+pub mod sm;
+
+pub use device::{DeviceState, GpuDevice, GpuError, GpuSpec};
+pub use memory::{AllocId, MemoryPool, OomError};
+pub use pcie::PcieModel;
+pub use process::{GpuProcess, ProcState, ProcId};
+pub use sm::SmTracker;
+
+/// Identifies one physical GPU in the cluster (unique across nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub u16);
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Identifies one inference model (the unit of caching in GPU memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelId(pub u32);
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model{}", self.0)
+    }
+}
+
+/// Bytes in one mebibyte; Table I sizes are given in MB (interpreted MiB).
+pub const MIB: u64 = 1024 * 1024;

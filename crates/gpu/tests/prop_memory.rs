@@ -1,0 +1,87 @@
+//! Property tests for the GPU memory pool and device state machine.
+
+use gfaas_gpu::{GpuDevice, GpuId, GpuSpec, MemoryPool, ModelId, MIB};
+use gfaas_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Invariant: used + free == capacity, used never exceeds capacity, and
+    /// every successful alloc/free keeps the books balanced under arbitrary
+    /// interleavings.
+    #[test]
+    fn pool_accounting_balances(ops in proptest::collection::vec((0u64..4096, any::<bool>()), 1..200)) {
+        let capacity = 64 * 1024;
+        let mut pool = MemoryPool::new(capacity);
+        let mut live = Vec::new();
+        let mut expected_used = 0u64;
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let (id, sz) = live.swap_remove(live.len() / 2);
+                prop_assert_eq!(pool.free_alloc(id), Some(sz));
+                expected_used -= sz;
+            } else {
+                match pool.try_alloc(size) {
+                    Ok(id) => {
+                        live.push((id, size));
+                        expected_used += size;
+                    }
+                    Err(e) => {
+                        prop_assert_eq!(e.requested, size);
+                        prop_assert!(size > pool.free());
+                    }
+                }
+            }
+            prop_assert_eq!(pool.used(), expected_used);
+            prop_assert_eq!(pool.used() + pool.free(), capacity);
+            prop_assert!(pool.used() <= capacity);
+            prop_assert_eq!(pool.alloc_count(), live.len());
+        }
+    }
+
+    /// Invariant: a device that only receives legal load→infer cycles never
+    /// reports memory above capacity and always returns to idle.
+    #[test]
+    fn device_cycles_return_to_idle(
+        sizes in proptest::collection::vec(1u64..2000, 1..30),
+    ) {
+        let mut d = GpuDevice::new(GpuId(0), GpuSpec::test(8192));
+        let mut now = SimTime::ZERO;
+        for (i, mib) in sizes.iter().enumerate() {
+            let model = ModelId(i as u32);
+            let bytes = mib * MIB;
+            // Evict LRA (least-recently-added) models until it fits.
+            while d.free_bytes() < bytes {
+                let victim = d.resident_models().next().unwrap();
+                d.evict(victim).unwrap();
+            }
+            let (_, ready) = d.start_load(now, model, bytes).unwrap();
+            d.complete_load(ready, model).unwrap();
+            let done = d.start_inference(ready, model, SimDuration::from_millis(100)).unwrap();
+            d.complete_inference(done, model).unwrap();
+            now = done;
+            prop_assert!(d.is_idle());
+            prop_assert!(d.used_bytes() <= d.spec().memory_bytes);
+        }
+        prop_assert_eq!(d.inferences_completed(), sizes.len() as u64);
+    }
+
+    /// Invariant: SM utilisation is always within [0, 1] regardless of the
+    /// mix of loads and inferences.
+    #[test]
+    fn sm_utilization_bounded(durs in proptest::collection::vec(1u64..5000, 1..40)) {
+        let mut d = GpuDevice::new(GpuId(1), GpuSpec::test(4096));
+        let model = ModelId(0);
+        let (_, ready) = d.start_load(SimTime::ZERO, model, 10 * MIB).unwrap();
+        d.complete_load(ready, model).unwrap();
+        let mut now = ready;
+        for ms in durs {
+            let done = d.start_inference(now, model, SimDuration::from_millis(ms)).unwrap();
+            d.complete_inference(done, model).unwrap();
+            // idle gap equal to half the inference
+            now = done + SimDuration::from_millis(ms / 2);
+        }
+        let u = d.sm_utilization(SimTime::ZERO, now);
+        prop_assert!((0.0..=1.0).contains(&u));
+        prop_assert!(u > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The §IV-A profiling procedure: regenerate Table I.
+//!
+//! The paper profiles each unique model once per GPU type, measuring (a)
+//! the model upload time and (b) inference latency across batch sizes,
+//! fitting the latter with regression. [`profile_model`] reproduces that
+//! procedure against the simulated device: uploads go through the PCIe
+//! model, inference "measurements" are drawn from the model's latency
+//! profile with multiplicative measurement noise, and a least-squares fit
+//! recovers the linear coefficients the scheduler uses.
+
+use gfaas_gpu::pcie::PcieModel;
+use gfaas_gpu::ModelId;
+use gfaas_sim::rng::DetRng;
+
+use crate::registry::ModelRegistry;
+use crate::regression::{fit_line, LinearFit};
+
+/// The profile measured for one model on one GPU type.
+#[derive(Debug, Clone)]
+pub struct MeasuredProfile {
+    /// The profiled model.
+    pub model: ModelId,
+    /// Upload time measured through the PCIe model, seconds.
+    pub load_secs: f64,
+    /// Fitted inference latency: `t(b) = intercept + slope · b`, seconds.
+    pub fit: LinearFit,
+    /// Predicted latency at batch 32 (Table I's reporting point), seconds.
+    pub infer_secs_b32: f64,
+}
+
+/// Batch sizes swept during profiling.
+pub const PROFILE_BATCHES: &[usize] = &[1, 2, 4, 8, 16, 24, 32];
+
+/// Relative measurement noise applied to each synthetic latency sample.
+pub const MEASUREMENT_NOISE: f64 = 0.03;
+
+/// Profiles one model: PCIe upload measurement + batch sweep + regression.
+pub fn profile_model(
+    registry: &ModelRegistry,
+    pcie: &PcieModel,
+    model: ModelId,
+    rng: &mut DetRng,
+) -> MeasuredProfile {
+    let occupancy = registry.occupancy_bytes(model);
+    let load_secs = pcie.transfer_time(occupancy).as_secs_f64();
+
+    let samples: Vec<(f64, f64)> = PROFILE_BATCHES
+        .iter()
+        .map(|&b| {
+            let truth = registry.infer_time(model, b).as_secs_f64();
+            let noise = 1.0 + rng.range_f64(-MEASUREMENT_NOISE, MEASUREMENT_NOISE);
+            (b as f64, truth * noise)
+        })
+        .collect();
+    let fit = fit_line(&samples).expect("batch sweep has distinct sizes");
+    MeasuredProfile {
+        model,
+        load_secs,
+        infer_secs_b32: fit.predict(32.0),
+        fit,
+    }
+}
+
+/// Profiles every model in the registry (the full Table I regeneration).
+pub fn profile_all(
+    registry: &ModelRegistry,
+    pcie: &PcieModel,
+    seed: u64,
+) -> Vec<MeasuredProfile> {
+    let mut rng = DetRng::new(seed);
+    registry
+        .ids()
+        .map(|id| profile_model(registry, pcie, id, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_all_22_models() {
+        let reg = ModelRegistry::table1();
+        let profiles = profile_all(&reg, &PcieModel::table1(), 42);
+        assert_eq!(profiles.len(), 22);
+    }
+
+    #[test]
+    fn measured_load_times_track_table1() {
+        let reg = ModelRegistry::table1();
+        let profiles = profile_all(&reg, &PcieModel::table1(), 42);
+        let mut outliers = 0;
+        for p in &profiles {
+            let paper = reg.spec(p.model).load_secs;
+            let rel = (p.load_secs - paper).abs() / paper;
+            if rel >= 0.15 {
+                // Table I itself scatters around a linear size trend;
+                // inception.v3 (4.42 s for 2157 MB) sits ~30% above it, the
+                // paper's measurement including extra framework init for
+                // that architecture. Tolerate a couple of such outliers.
+                outliers += 1;
+                assert!(
+                    rel < 0.35,
+                    "{}: measured {:.2} vs paper {:.2}",
+                    reg.spec(p.model).name,
+                    p.load_secs,
+                    paper
+                );
+            }
+        }
+        assert!(outliers <= 2, "too many load-time outliers: {outliers}");
+    }
+
+    #[test]
+    fn regression_recovers_batch32_latency() {
+        let reg = ModelRegistry::table1();
+        let profiles = profile_all(&reg, &PcieModel::table1(), 7);
+        for p in &profiles {
+            let paper = reg.spec(p.model).infer_secs_b32;
+            let rel = (p.infer_secs_b32 - paper).abs() / paper;
+            assert!(
+                rel < 0.1,
+                "{}: fitted {:.3} vs paper {:.3}",
+                reg.spec(p.model).name,
+                p.infer_secs_b32,
+                paper
+            );
+            assert!(p.fit.r_squared > 0.95, "poor fit for {}", reg.spec(p.model).name);
+        }
+    }
+
+    #[test]
+    fn profiling_is_deterministic_per_seed() {
+        let reg = ModelRegistry::table1();
+        let a = profile_all(&reg, &PcieModel::table1(), 5);
+        let b = profile_all(&reg, &PcieModel::table1(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.infer_secs_b32, y.infer_secs_b32);
+        }
+    }
+
+    #[test]
+    fn slope_is_positive_per_image_cost() {
+        let reg = ModelRegistry::table1();
+        for p in profile_all(&reg, &PcieModel::table1(), 11) {
+            assert!(p.fit.slope > 0.0);
+            assert!(p.fit.intercept > 0.0);
+        }
+    }
+}

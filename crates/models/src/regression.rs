@@ -1,0 +1,106 @@
+//! Ordinary least-squares regression.
+//!
+//! §IV-A of the paper: "the inference time depends on the model and the
+//! batch size which can be profiled using simple regression methods". This
+//! module provides that regression: fit `y = a + b·x` to profiled
+//! (batch size, latency) samples and report the goodness of fit.
+
+/// A fitted line `y = intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept (`a`).
+    pub intercept: f64,
+    /// Slope (`b`).
+    pub slope: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by least squares. Needs at least two samples with
+/// non-constant `x`; returns `None` otherwise.
+pub fn fit_line(samples: &[(f64, f64)]) -> Option<LinearFit> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|s| s.0).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|s| s.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in samples {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // perfectly constant y is perfectly explained
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = fit_line(&samples).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_well() {
+        // Deterministic "noise" from a fixed pattern.
+        let samples: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 7919) % 13) as f64 / 13.0 - 0.5;
+                (x, 1.0 + 0.5 * x + noise * 0.1)
+            })
+            .collect();
+        let fit = fit_line(&samples).unwrap();
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!((fit.intercept - 1.0).abs() < 0.2);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(3.0, 1.0), (3.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope() {
+        let fit = fit_line(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

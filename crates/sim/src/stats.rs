@@ -1,0 +1,427 @@
+//! Numerically stable statistics accumulators.
+//!
+//! The paper reports average latency, latency *variance* (Fig 7), cache miss
+//! ratios, time-averaged duplicate counts (Fig 6), and SM utilisation
+//! (Fig 4c). These accumulators back all of those metrics:
+//!
+//! * [`Welford`] — streaming mean/variance without catastrophic cancellation.
+//! * [`TimeWeighted`] — integral-of-value-over-time averages for quantities
+//!   sampled at state changes (e.g. "how many GPUs hold the hot model").
+//! * [`Ratio`] — hit/miss style counters.
+//! * [`Histogram`] — fixed-width bins plus exact quantiles for small runs.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean and variance (Welford's online algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a duration observation in seconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; 0 with fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] at every state change; the accumulator
+/// integrates `value · dt` between changes. Used for Fig 6 (average number
+/// of duplicates of the hottest model over the run).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64,
+    started: bool,
+    start_time: SimTime,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// An empty accumulator; integration starts at the first `set`.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            integral: 0.0,
+            started: false,
+            start_time: SimTime::ZERO,
+        }
+    }
+
+    /// Records that the signal takes `value` from time `t` onward.
+    /// Out-of-order calls (t earlier than the last update) are ignored for
+    /// the elapsed-time term but still update the current value.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        if !self.started {
+            self.started = true;
+            self.start_time = t;
+        } else if t > self.last_time {
+            let dt = t.duration_since(self.last_time).as_secs_f64();
+            self.integral += self.last_value * dt;
+        }
+        self.last_time = self.last_time.max(t);
+        self.last_value = value;
+    }
+
+    /// The time-weighted mean over `[first set, end]`; 0 if never set or if
+    /// no time elapsed.
+    pub fn average_until(&self, end: SimTime) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let mut integral = self.integral;
+        if end > self.last_time {
+            integral += self.last_value * end.duration_since(self.last_time).as_secs_f64();
+        }
+        let span = end.duration_since(self.start_time).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            integral / span
+        }
+    }
+
+    /// The current (most recently set) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// A numerator/denominator pair for hit/miss style ratios.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// An empty ratio (0/0 → reported as 0.0).
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one event; `hit` selects the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator − numerator.
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Denominator.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// hits/total, or 0 when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// misses/total, or 0 when empty.
+    pub fn complement(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Fixed-width histogram with exact-sample quantiles.
+///
+/// Keeps every sample (runs here are a few thousand requests), so
+/// [`Histogram::quantile`] is exact rather than interpolated from bins; the
+/// bins exist for cheap textual display.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` bins of `bin_width` each; values
+    /// beyond the last bin clamp into it.
+    pub fn new(bin_width: f64, nbins: usize) -> Self {
+        assert!(bin_width > 0.0 && nbins > 0);
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        let idx = ((x / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        if let Some(&last) = self.samples.last() {
+            if x < last {
+                self.sorted = false;
+            }
+        }
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Exact q-quantile (nearest-rank); `None` when empty or q outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The configured bin width.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut all = Welford::new();
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(0), 1.0);
+        tw.set(SimTime::from_secs(10), 3.0); // value 1 for 10 s
+        tw.set(SimTime::from_secs(20), 0.0); // value 3 for 10 s
+        // value 0 for final 20 s
+        let avg = tw.average_until(SimTime::from_secs(40));
+        assert!((avg - (10.0 + 30.0) / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_unset_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.average_until(SimTime::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_single_value_holds() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(5), 2.5);
+        assert!((tw.average_until(SimTime::from_secs(15)) - 2.5).abs() < 1e-12);
+        assert_eq!(tw.current(), 2.5);
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::new();
+        assert_eq!(r.ratio(), 0.0);
+        for i in 0..10 {
+            r.record(i < 3);
+        }
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.misses(), 7);
+        assert!((r.ratio() - 0.3).abs() < 1e-12);
+        assert!((r.complement() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let mut h = Histogram::new(1.0, 10);
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.push(x);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_clamps_overflow_bin() {
+        let mut h = Histogram::new(1.0, 4);
+        h.push(100.0);
+        assert_eq!(h.bins(), &[0, 0, 0, 1]);
+    }
+}

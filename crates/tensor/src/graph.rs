@@ -1,0 +1,297 @@
+//! A sequential layer graph for CNN inference.
+//!
+//! [`Network`] is a flat list of [`Layer`]s evaluated in order — enough to
+//! express the feed-forward CNN families the paper's workload uses
+//! (AlexNet/VGG/SqueezeNet-style stacks plus pooled classifiers). Weights
+//! are owned by the layers and initialised deterministically from a seed so
+//! inference results are reproducible across runs.
+
+use gfaas_sim::rng::DetRng;
+
+use crate::ops::conv::{conv2d, Conv2dParams};
+use crate::ops::grouped::conv2d_grouped;
+use crate::ops::norm::{batch_norm2d, BatchNormParams};
+use crate::ops::{avg_pool2d, global_avg_pool2d, linear, max_pool2d, relu, sigmoid, softmax};
+use crate::tensor::Tensor;
+
+/// One network layer.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// 2-D convolution with owned weights `[out, in, k, k]` and bias.
+    Conv2d {
+        /// Filter bank.
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Tensor,
+        /// Stride/padding.
+        params: Conv2dParams,
+    },
+    /// Grouped 2-D convolution (ResNeXt-style): weight
+    /// `[out, in/groups, k, k]`.
+    GroupedConv2d {
+        /// Filter bank, `in/groups` input channels per filter.
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Tensor,
+        /// Stride/padding.
+        params: Conv2dParams,
+        /// Number of channel groups.
+        groups: usize,
+    },
+    /// Inference-mode batch normalisation.
+    BatchNorm(BatchNormParams),
+    /// ReLU activation.
+    Relu,
+    /// Sigmoid activation.
+    Sigmoid,
+    /// Max pooling (`k`, `stride`).
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling (`k`, `stride`).
+    AvgPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling: NCHW → `[n, c]`.
+    GlobalAvgPool,
+    /// Flattens NCHW to `[n, c*h*w]`.
+    Flatten,
+    /// Fully connected layer with owned `[out, in]` weights and bias.
+    Linear {
+        /// Weight matrix.
+        weight: Tensor,
+        /// Bias vector.
+        bias: Tensor,
+    },
+    /// Row-wise softmax (classifier head).
+    Softmax,
+}
+
+impl Layer {
+    /// Number of learnable parameters in this layer.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv2d { weight, bias, .. }
+            | Layer::GroupedConv2d { weight, bias, .. }
+            | Layer::Linear { weight, bias } => weight.numel() + bias.numel(),
+            Layer::BatchNorm(p) => p.gamma.len() * 4,
+            _ => 0,
+        }
+    }
+}
+
+/// A sequential feed-forward network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Human-readable architecture name.
+    pub name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// An empty network with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a randomly initialised convolution.
+    pub fn conv(
+        self,
+        rng: &mut DetRng,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let fan_in = cin * k * k;
+        let weight = Tensor::rand_kaiming(&[cout, cin, k, k], fan_in, rng);
+        let bias = Tensor::zeros(&[cout]);
+        self.push(Layer::Conv2d {
+            weight,
+            bias,
+            params: Conv2dParams { stride, padding },
+        })
+    }
+
+    /// Appends a randomly initialised grouped convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_grouped(
+        self,
+        rng: &mut DetRng,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(cin % groups == 0 && cout % groups == 0, "channels must divide groups");
+        let fan_in = (cin / groups) * k * k;
+        let weight = Tensor::rand_kaiming(&[cout, cin / groups, k, k], fan_in, rng);
+        let bias = Tensor::zeros(&[cout]);
+        self.push(Layer::GroupedConv2d {
+            weight,
+            bias,
+            params: Conv2dParams { stride, padding },
+            groups,
+        })
+    }
+
+    /// Appends a randomly initialised fully connected layer.
+    pub fn dense(self, rng: &mut DetRng, fin: usize, fout: usize) -> Self {
+        let weight = Tensor::rand_kaiming(&[fout, fin], fin, rng);
+        let bias = Tensor::zeros(&[fout]);
+        self.push(Layer::Linear { weight, bias })
+    }
+
+    /// The layer list.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Approximate in-memory weight size in bytes (f32 parameters).
+    pub fn weight_bytes(&self) -> u64 {
+        (self.param_count() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Runs a forward pass. Input is NCHW for convolutional stacks or
+    /// `[batch, features]` once flattened.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = match layer {
+                Layer::Conv2d {
+                    weight,
+                    bias,
+                    params,
+                } => conv2d(&x, weight, Some(bias), *params),
+                Layer::GroupedConv2d {
+                    weight,
+                    bias,
+                    params,
+                    groups,
+                } => conv2d_grouped(&x, weight, Some(bias), *params, *groups),
+                Layer::BatchNorm(p) => batch_norm2d(x, p),
+                Layer::Relu => relu(x),
+                Layer::Sigmoid => sigmoid(x),
+                Layer::MaxPool { k, stride } => max_pool2d(&x, *k, *stride),
+                Layer::AvgPool { k, stride } => avg_pool2d(&x, *k, *stride),
+                Layer::GlobalAvgPool => global_avg_pool2d(&x),
+                Layer::Flatten => {
+                    let n = x.shape()[0];
+                    let rest: usize = x.shape()[1..].iter().product();
+                    x.reshape(&[n, rest])
+                }
+                Layer::Linear { weight, bias } => linear(&x, weight, Some(bias)),
+                Layer::Softmax => softmax(x),
+            };
+        }
+        x
+    }
+
+    /// Classifies a batch, returning the argmax class per row. The network
+    /// must end in a 2-D `[batch, classes]` output.
+    pub fn classify(&self, input: &Tensor) -> Vec<usize> {
+        self.forward(input).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = DetRng::new(seed);
+        Network::new("tiny")
+            .conv(&mut rng, 1, 4, 3, 1, 1)
+            .push(Layer::Relu)
+            .push(Layer::MaxPool { k: 2, stride: 2 })
+            .push(Layer::Flatten)
+            .dense(&mut rng, 4 * 4 * 4, 10)
+            .push(Layer::Softmax)
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let net = tiny_net(1);
+        let input = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 7) as f32 / 7.0);
+        let out = net.forward(&input);
+        assert_eq!(out.shape(), &[2, 10]);
+        for row in out.data().chunks(10) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_output() {
+        let a = tiny_net(9);
+        let b = tiny_net(9);
+        let input = Tensor::from_fn(&[1, 1, 8, 8], |i| i as f32 / 64.0);
+        assert!(a.forward(&input).max_abs_diff(&b.forward(&input)) == 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tiny_net(1);
+        let b = tiny_net(2);
+        let input = Tensor::from_fn(&[1, 1, 8, 8], |i| i as f32 / 64.0);
+        assert!(a.forward(&input).max_abs_diff(&b.forward(&input)) > 1e-6);
+    }
+
+    #[test]
+    fn param_count_adds_up() {
+        let net = tiny_net(1);
+        // conv: 4*1*3*3 + 4 = 40; dense: 10*64 + 10 = 650.
+        assert_eq!(net.param_count(), 40 + 650);
+        assert_eq!(net.weight_bytes(), (690 * 4) as u64);
+    }
+
+    #[test]
+    fn classify_returns_one_label_per_row() {
+        let net = tiny_net(3);
+        let input = Tensor::from_fn(&[5, 1, 8, 8], |i| ((i * 13) % 11) as f32 / 11.0);
+        let labels = net.classify(&input);
+        assert_eq!(labels.len(), 5);
+        assert!(labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn batch_size_invariance() {
+        // Running rows individually must equal running them as one batch.
+        let net = tiny_net(4);
+        let a = Tensor::from_fn(&[1, 1, 8, 8], |i| (i as f32).sin());
+        let b = Tensor::from_fn(&[1, 1, 8, 8], |i| (i as f32).cos());
+        let mut joint_data = a.data().to_vec();
+        joint_data.extend_from_slice(b.data());
+        let joint = Tensor::from_vec(&[2, 1, 8, 8], joint_data);
+        let out_a = net.forward(&a);
+        let out_b = net.forward(&b);
+        let out_joint = net.forward(&joint);
+        for c in 0..10 {
+            assert!((out_joint.at2(0, c) - out_a.at2(0, c)).abs() < 1e-5);
+            assert!((out_joint.at2(1, c) - out_b.at2(0, c)).abs() < 1e-5);
+        }
+    }
+}

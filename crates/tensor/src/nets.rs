@@ -1,0 +1,180 @@
+//! Reference architectures.
+//!
+//! Scaled-down builders for the CNN families in the paper's Table I
+//! workload. The live examples run these on CPU, so they are *miniature*
+//! versions — same topology family (conv/pool stacks, VGG-style blocks,
+//! global-average-pool classifiers), far fewer channels. The DES experiments
+//! never execute these; they consume the Table I latency profile directly.
+
+use gfaas_sim::rng::DetRng;
+
+use crate::graph::{Layer, Network};
+use crate::ops::norm::BatchNormParams;
+
+/// LeNet-5-style digit classifier for 1×28×28 inputs (MNIST-shaped).
+pub fn lenet5(num_classes: usize, seed: u64) -> Network {
+    let mut rng = DetRng::new(seed);
+    Network::new("lenet5")
+        .conv(&mut rng, 1, 6, 5, 1, 2) // 6×28×28
+        .push(Layer::Relu)
+        .push(Layer::MaxPool { k: 2, stride: 2 }) // 6×14×14
+        .conv(&mut rng, 6, 16, 5, 1, 0) // 16×10×10
+        .push(Layer::Relu)
+        .push(Layer::MaxPool { k: 2, stride: 2 }) // 16×5×5
+        .push(Layer::Flatten)
+        .dense(&mut rng, 16 * 5 * 5, 120)
+        .push(Layer::Relu)
+        .dense(&mut rng, 120, 84)
+        .push(Layer::Relu)
+        .dense(&mut rng, 84, num_classes)
+        .push(Layer::Softmax)
+}
+
+/// A miniature VGG-style block stack for 3×32×32 inputs (CIFAR-shaped).
+pub fn mini_vgg(num_classes: usize, seed: u64) -> Network {
+    let mut rng = DetRng::new(seed);
+    Network::new("mini_vgg")
+        .conv(&mut rng, 3, 16, 3, 1, 1)
+        .push(Layer::Relu)
+        .conv(&mut rng, 16, 16, 3, 1, 1)
+        .push(Layer::Relu)
+        .push(Layer::MaxPool { k: 2, stride: 2 }) // 16×16×16
+        .conv(&mut rng, 16, 32, 3, 1, 1)
+        .push(Layer::Relu)
+        .conv(&mut rng, 32, 32, 3, 1, 1)
+        .push(Layer::Relu)
+        .push(Layer::MaxPool { k: 2, stride: 2 }) // 32×8×8
+        .push(Layer::Flatten)
+        .dense(&mut rng, 32 * 8 * 8, 128)
+        .push(Layer::Relu)
+        .dense(&mut rng, 128, num_classes)
+        .push(Layer::Softmax)
+}
+
+/// A miniature ResNet-style network (conv + batch-norm stacks with a
+/// global-average-pool head) for 3×32×32 inputs. Residual additions are
+/// omitted — the graph is sequential — but the normalisation-heavy layer
+/// mix matches the family's compute profile.
+pub fn mini_resnet(num_classes: usize, seed: u64) -> Network {
+    let mut rng = DetRng::new(seed);
+    Network::new("mini_resnet")
+        .conv(&mut rng, 3, 16, 3, 1, 1)
+        .push(Layer::BatchNorm(BatchNormParams::identity(16)))
+        .push(Layer::Relu)
+        .conv(&mut rng, 16, 32, 3, 2, 1) // 32×16×16
+        .push(Layer::BatchNorm(BatchNormParams::identity(32)))
+        .push(Layer::Relu)
+        .conv(&mut rng, 32, 64, 3, 2, 1) // 64×8×8
+        .push(Layer::BatchNorm(BatchNormParams::identity(64)))
+        .push(Layer::Relu)
+        .push(Layer::GlobalAvgPool) // [n, 64]
+        .dense(&mut rng, 64, num_classes)
+        .push(Layer::Softmax)
+}
+
+/// A miniature ResNeXt-style network: grouped 3×3 convolutions between
+/// 1×1 projections (the "cardinality" design of `resnext50.32x4d`),
+/// global-average-pool classifier. For 3×32×32 inputs.
+pub fn mini_resnext(num_classes: usize, seed: u64) -> Network {
+    let mut rng = DetRng::new(seed);
+    Network::new("mini_resnext")
+        .conv(&mut rng, 3, 16, 3, 1, 1) // stem
+        .push(Layer::Relu)
+        .conv(&mut rng, 16, 32, 1, 1, 0) // project up
+        .push(Layer::Relu)
+        .conv_grouped(&mut rng, 32, 32, 3, 2, 1, 4) // 4-group 3×3, 16×16
+        .push(Layer::Relu)
+        .conv(&mut rng, 32, 64, 1, 1, 0) // project up
+        .push(Layer::Relu)
+        .conv_grouped(&mut rng, 64, 64, 3, 2, 1, 8) // 8-group 3×3, 8×8
+        .push(Layer::Relu)
+        .push(Layer::GlobalAvgPool)
+        .dense(&mut rng, 64, num_classes)
+        .push(Layer::Softmax)
+}
+
+/// A miniature SqueezeNet-style network: 1×1 squeeze convolutions between
+/// 3×3 expands, global-average-pool classifier, very few parameters.
+pub fn mini_squeezenet(num_classes: usize, seed: u64) -> Network {
+    let mut rng = DetRng::new(seed);
+    Network::new("mini_squeezenet")
+        .conv(&mut rng, 3, 16, 3, 2, 1) // 16×16×16
+        .push(Layer::Relu)
+        .conv(&mut rng, 16, 8, 1, 1, 0) // squeeze
+        .push(Layer::Relu)
+        .conv(&mut rng, 8, 32, 3, 1, 1) // expand
+        .push(Layer::Relu)
+        .push(Layer::MaxPool { k: 2, stride: 2 }) // 32×8×8
+        .conv(&mut rng, 32, num_classes, 1, 1, 0) // class planes
+        .push(Layer::GlobalAvgPool)
+        .push(Layer::Softmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn lenet_shapes_work_end_to_end() {
+        let net = lenet5(10, 1);
+        let x = Tensor::from_fn(&[2, 1, 28, 28], |i| (i % 255) as f32 / 255.0);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn mini_vgg_shapes_work() {
+        let net = mini_vgg(10, 2);
+        let x = Tensor::from_fn(&[1, 3, 32, 32], |i| (i % 100) as f32 / 100.0);
+        assert_eq!(net.forward(&x).shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn mini_resnet_shapes_work() {
+        let net = mini_resnet(10, 3);
+        let x = Tensor::from_fn(&[1, 3, 32, 32], |i| (i % 100) as f32 / 100.0);
+        assert_eq!(net.forward(&x).shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn mini_resnext_shapes_work() {
+        let net = mini_resnext(10, 5);
+        let x = Tensor::from_fn(&[2, 3, 32, 32], |i| (i % 100) as f32 / 100.0);
+        assert_eq!(net.forward(&x).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn mini_resnext_has_fewer_params_than_ungrouped_equivalent() {
+        // Grouping divides each grouped layer's weights by the group count.
+        let grouped = mini_resnext(10, 1).param_count();
+        // Same topology with groups=1 has strictly more parameters.
+        let mut rng = DetRng::new(1);
+        let ungrouped = Network::new("dense_equiv")
+            .conv(&mut rng, 3, 16, 3, 1, 1)
+            .conv(&mut rng, 16, 32, 1, 1, 0)
+            .conv(&mut rng, 32, 32, 3, 2, 1)
+            .conv(&mut rng, 32, 64, 1, 1, 0)
+            .conv(&mut rng, 64, 64, 3, 2, 1)
+            .dense(&mut rng, 64, 10)
+            .param_count();
+        assert!(grouped < ungrouped, "{grouped} vs {ungrouped}");
+    }
+
+    #[test]
+    fn mini_squeezenet_shapes_work() {
+        let net = mini_squeezenet(10, 4);
+        let x = Tensor::from_fn(&[1, 3, 32, 32], |i| (i % 100) as f32 / 100.0);
+        assert_eq!(net.forward(&x).shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn squeezenet_is_smallest_vgg_is_largest() {
+        // Mirrors the real families' size ordering (Table I).
+        let s = mini_squeezenet(10, 1).param_count();
+        let r = mini_resnet(10, 1).param_count();
+        let v = mini_vgg(10, 1).param_count();
+        assert!(s < r, "squeezenet {s} should be smaller than resnet {r}");
+        assert!(r < v, "resnet {r} should be smaller than vgg {v}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Elementwise activations and softmax.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, elementwise: `max(x, 0)`.
+pub fn relu(mut t: Tensor) -> Tensor {
+    t.map_inplace(|v| v.max(0.0));
+    t
+}
+
+/// Logistic sigmoid, elementwise.
+pub fn sigmoid(mut t: Tensor) -> Tensor {
+    t.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
+    t
+}
+
+/// Row-wise softmax over a 2-D `[batch, classes]` tensor, with the usual
+/// max-subtraction for numerical stability.
+pub fn softmax(mut t: Tensor) -> Tensor {
+    assert_eq!(t.ndim(), 2, "softmax expects [batch, classes]");
+    let cols = t.shape()[1];
+    for row in t.data_mut().chunks_exact_mut(cols) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = relu(Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.5, -0.1]));
+        assert_eq!(t.data(), &[0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_limits() {
+        let t = sigmoid(Tensor::from_vec(&[3], vec![0.0, 100.0, -100.0]));
+        assert!((t.data()[0] - 0.5).abs() < 1e-6);
+        assert!((t.data()[1] - 1.0).abs() < 1e-6);
+        assert!(t.data()[2] < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = softmax(Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]));
+        for row in t.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]));
+        let b = softmax(Tensor::from_vec(&[1, 3], vec![1001.0, 1002.0, 1003.0]));
+        assert!(a.max_abs_diff(&b) < 1e-6);
+        assert!(a.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax() {
+        let logits = Tensor::from_vec(&[1, 4], vec![0.1, 3.0, -2.0, 1.0]);
+        let probs = softmax(logits.clone());
+        assert_eq!(probs.argmax_rows(), logits.argmax_rows());
+    }
+}

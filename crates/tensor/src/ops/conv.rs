@@ -1,0 +1,310 @@
+//! 2-D convolution over NCHW tensors.
+//!
+//! Two paths:
+//! * [`conv2d`] — im2col + GEMM, the standard high-throughput CPU/GPU
+//!   lowering (it is exactly how cuDNN's implicit-GEMM algorithms and the
+//!   paper's PyTorch stack execute convolutions).
+//! * [`conv2d_naive`] — direct 7-deep loop nest kept as the oracle for
+//!   correctness tests.
+
+use crate::ops::matmul::matmul;
+use crate::parallel::par_chunks_mut;
+use crate::tensor::Tensor;
+
+/// Convolution hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero-padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+impl Conv2dParams {
+    /// Output spatial size for an input of `(h, w)` under a `(kh, kw)` kernel.
+    pub fn output_hw(&self, h: usize, w: usize, kh: usize, kw: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - kh) / self.stride + 1;
+        let ow = (w + 2 * self.padding - kw) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+fn check_shapes(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) {
+    assert_eq!(input.ndim(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [out, in, kh, kw]");
+    assert_eq!(
+        input.shape()[1],
+        weight.shape()[1],
+        "channel mismatch: input {} vs weight {}",
+        input.shape()[1],
+        weight.shape()[1]
+    );
+    if let Some(b) = bias {
+        assert_eq!(
+            b.numel(),
+            weight.shape()[0],
+            "bias length must equal output channels"
+        );
+    }
+}
+
+/// im2col: unfolds input patches into a `[cin*kh*kw, oh*ow]` matrix for one
+/// batch element, so the convolution becomes one GEMM.
+fn im2col(
+    input: &Tensor,
+    n: usize,
+    kh: usize,
+    kw: usize,
+    p: Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let (cin, h, w) = (input.shape()[1], input.shape()[2], input.shape()[3]);
+    let rows = cin * kh * kw;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let data = out.data_mut();
+    for c in 0..cin {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                let dst = &mut data[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // stays zero (padding)
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = input.at4(n, c, iy as usize, ix as usize);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolves `input` `[n, cin, h, w]` with `weight` `[cout, cin, kh, kw]`
+/// (+ optional `bias` `[cout]`), producing `[n, cout, oh, ow]`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Tensor {
+    check_shapes(input, weight, bias);
+    let (batch, _cin, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (cout, cin, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let (oh, ow) = params.output_hw(h, w, kh, kw);
+    let w_mat = Tensor::from_vec(&[cout, cin * kh * kw], weight.data().to_vec());
+
+    let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
+    let plane = cout * oh * ow;
+    // One batch element per chunk: im2col + GEMM, fully independent.
+    par_chunks_mut(out.data_mut(), plane, |n, out_chunk| {
+        let cols = im2col(input, n, kh, kw, params, oh, ow);
+        let prod = matmul(&w_mat, &cols); // [cout, oh*ow]
+        out_chunk.copy_from_slice(prod.data());
+        if let Some(b) = bias {
+            let hw = oh * ow;
+            for (co, bias_v) in b.data().iter().enumerate() {
+                for v in &mut out_chunk[co * hw..(co + 1) * hw] {
+                    *v += bias_v;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Reference convolution: direct loop nest, no lowering. Slow; tests only.
+pub fn conv2d_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Tensor {
+    check_shapes(input, weight, bias);
+    let (batch, cin, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (cout, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let (oh, ow) = params.output_hw(h, w, kh, kw);
+    let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
+    for n in 0..batch {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map_or(0.0, |b| b.data()[co]);
+                    for ci in 0..cin {
+                        for ky in 0..kh {
+                            let iy = (oy * params.stride + ky) as isize - params.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix =
+                                    (ox * params.stride + kx) as isize - params.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at4(n, ci, iy as usize, ix as usize)
+                                    * weight.at4(co, ci, ky, kx);
+                            }
+                        }
+                    }
+                    *out.at4_mut(n, co, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfaas_sim::rng::DetRng;
+
+    #[test]
+    fn known_3x3_edge_detector() {
+        // 1-channel 4x4 input, single 3x3 kernel, no padding → 2x2 output.
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let weight = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![0., 0., 0., 0., 1., 0., 0., 0., 0.], // identity kernel
+        );
+        let out = conv2d(&input, &weight, None, Conv2dParams::default());
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        // Identity kernel picks the centre of each 3x3 window.
+        assert_eq!(out.data(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn bias_adds_per_channel() {
+        let input = Tensor::full(&[1, 1, 3, 3], 0.0);
+        let weight = Tensor::zeros(&[2, 1, 3, 3]);
+        let bias = Tensor::from_vec(&[2], vec![1.5, -2.5]);
+        let out = conv2d(&input, &weight, Some(&bias), Conv2dParams::default());
+        assert_eq!(out.shape(), &[1, 2, 1, 1]);
+        assert_eq!(out.data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn gemm_path_matches_naive_across_configs() {
+        let mut rng = DetRng::new(99);
+        let configs = [
+            (1, 1, 5, 5, 1, 3, 1, 0),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (1, 2, 7, 9, 3, 5, 2, 2),
+            (3, 4, 6, 6, 2, 1, 1, 0),
+            (1, 3, 11, 11, 2, 3, 2, 1),
+        ];
+        for &(n, cin, h, w, cout, k, stride, padding) in &configs {
+            let input = Tensor::from_fn(&[n, cin, h, w], |_| rng.range_f64(-1.0, 1.0) as f32);
+            let weight =
+                Tensor::from_fn(&[cout, cin, k, k], |_| rng.range_f64(-1.0, 1.0) as f32);
+            let bias = Tensor::from_fn(&[cout], |_| rng.range_f64(-0.5, 0.5) as f32);
+            let p = Conv2dParams { stride, padding };
+            let fast = conv2d(&input, &weight, Some(&bias), p);
+            let slow = conv2d_naive(&input, &weight, Some(&bias), p);
+            assert_eq!(fast.shape(), slow.shape());
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "diverged on config {:?}",
+                (n, cin, h, w, cout, k, stride, padding)
+            );
+        }
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let weight = Tensor::zeros(&[1, 1, 3, 3]);
+        let same = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+        );
+        assert_eq!(same.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn stride_shrinks_output() {
+        let input = Tensor::zeros(&[1, 1, 8, 8]);
+        let weight = Tensor::zeros(&[1, 1, 2, 2]);
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        );
+        assert_eq!(out.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        conv2d(
+            &Tensor::zeros(&[1, 3, 4, 4]),
+            &Tensor::zeros(&[1, 2, 3, 3]),
+            None,
+            Conv2dParams::default(),
+        );
+    }
+
+    #[test]
+    fn batch_elements_are_independent() {
+        let mut rng = DetRng::new(4);
+        let one = Tensor::from_fn(&[1, 2, 6, 6], |_| rng.range_f64(-1.0, 1.0) as f32);
+        let weight = Tensor::from_fn(&[3, 2, 3, 3], |_| rng.range_f64(-1.0, 1.0) as f32);
+        // Duplicate the single element into a batch of 2.
+        let mut both_data = one.data().to_vec();
+        both_data.extend_from_slice(one.data());
+        let both = Tensor::from_vec(&[2, 2, 6, 6], both_data);
+        let p = Conv2dParams::default();
+        let out1 = conv2d(&one, &weight, None, p);
+        let out2 = conv2d(&both, &weight, None, p);
+        let half = out2.numel() / 2;
+        assert_eq!(&out2.data()[..half], out1.data());
+        assert_eq!(&out2.data()[half..], out1.data());
+    }
+}

@@ -1,0 +1,223 @@
+//! Grouped convolution and channel concatenation.
+//!
+//! Grouped convolution is the defining operator of the ResNeXt family in
+//! the paper's workload (`resnext50.32x4d`, `resnext101.32x8d` — 32
+//! groups): input and output channels are split into `groups` independent
+//! convolutions. Channel concatenation is the DenseNet family's feature
+//! reuse primitive.
+
+use crate::ops::conv::{conv2d, Conv2dParams};
+use crate::tensor::Tensor;
+
+/// Extracts the channel range `[from, to)` of an NCHW tensor.
+pub fn slice_channels(input: &Tensor, from: usize, to: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "slice_channels input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert!(from < to && to <= c, "bad channel range {from}..{to} of {c}");
+    let plane = h * w;
+    let out_c = to - from;
+    let mut out = Tensor::zeros(&[n, out_c, h, w]);
+    for ni in 0..n {
+        let src = (ni * c + from) * plane;
+        let dst = ni * out_c * plane;
+        out.data_mut()[dst..dst + out_c * plane]
+            .copy_from_slice(&input.data()[src..src + out_c * plane]);
+    }
+    out
+}
+
+/// Concatenates NCHW tensors along the channel axis. All inputs must share
+/// batch and spatial dimensions.
+pub fn concat_channels(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat of nothing");
+    let (n, h, w) = (
+        parts[0].shape()[0],
+        parts[0].shape()[2],
+        parts[0].shape()[3],
+    );
+    let total_c: usize = parts
+        .iter()
+        .map(|p| {
+            assert_eq!(p.ndim(), 4, "concat input must be NCHW");
+            assert_eq!(
+                (p.shape()[0], p.shape()[2], p.shape()[3]),
+                (n, h, w),
+                "concat inputs must share batch and spatial dims"
+            );
+            p.shape()[1]
+        })
+        .sum();
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, total_c, h, w]);
+    for ni in 0..n {
+        let mut c_off = 0;
+        for p in parts {
+            let pc = p.shape()[1];
+            let src = ni * pc * plane;
+            let dst = (ni * total_c + c_off) * plane;
+            out.data_mut()[dst..dst + pc * plane]
+                .copy_from_slice(&p.data()[src..src + pc * plane]);
+            c_off += pc;
+        }
+    }
+    out
+}
+
+/// Grouped 2-D convolution: `weight` is `[cout, cin/groups, k, k]`; group
+/// `g` convolves input channels `[g·cin/G, (g+1)·cin/G)` into output
+/// channels `[g·cout/G, (g+1)·cout/G)`.
+pub fn conv2d_grouped(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    groups: usize,
+) -> Tensor {
+    assert!(groups > 0, "groups must be positive");
+    if groups == 1 {
+        return conv2d(input, weight, bias, params);
+    }
+    let cin = input.shape()[1];
+    let cout = weight.shape()[0];
+    assert_eq!(cin % groups, 0, "cin {cin} not divisible by {groups} groups");
+    assert_eq!(cout % groups, 0, "cout {cout} not divisible by {groups} groups");
+    assert_eq!(
+        weight.shape()[1],
+        cin / groups,
+        "grouped weight must have cin/groups input channels"
+    );
+    let cin_g = cin / groups;
+    let cout_g = cout / groups;
+    let (kh, kw) = (weight.shape()[2], weight.shape()[3]);
+
+    let parts: Vec<Tensor> = (0..groups)
+        .map(|g| {
+            let in_slice = slice_channels(input, g * cin_g, (g + 1) * cin_g);
+            let w_slice = Tensor::from_vec(
+                &[cout_g, cin_g, kh, kw],
+                weight.data()[g * cout_g * cin_g * kh * kw..(g + 1) * cout_g * cin_g * kh * kw]
+                    .to_vec(),
+            );
+            let b_slice = bias.map(|b| {
+                Tensor::from_vec(&[cout_g], b.data()[g * cout_g..(g + 1) * cout_g].to_vec())
+            });
+            conv2d(&in_slice, &w_slice, b_slice.as_ref(), params)
+        })
+        .collect();
+    concat_channels(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfaas_sim::rng::DetRng;
+
+    fn rand(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = DetRng::new(seed);
+        Tensor::from_fn(shape, |_| rng.range_f64(-1.0, 1.0) as f32)
+    }
+
+    #[test]
+    fn slice_then_concat_round_trips() {
+        let t = rand(&[2, 6, 4, 4], 1);
+        let a = slice_channels(&t, 0, 2);
+        let b = slice_channels(&t, 2, 5);
+        let c = slice_channels(&t, 5, 6);
+        let back = concat_channels(&[a, b, c]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn one_group_equals_plain_conv() {
+        let input = rand(&[1, 4, 6, 6], 2);
+        let weight = rand(&[8, 4, 3, 3], 3);
+        let bias = rand(&[8], 4);
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
+        let grouped = conv2d_grouped(&input, &weight, Some(&bias), p, 1);
+        let plain = conv2d(&input, &weight, Some(&bias), p);
+        assert_eq!(grouped, plain);
+    }
+
+    #[test]
+    fn groups_partition_channels_independently() {
+        // With 2 groups, zeroing input channels of group 1 must not affect
+        // group 0's output channels, and must zero group 1's (bias-free).
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 0,
+        };
+        let weight = rand(&[4, 2, 3, 3], 5); // cout 4, cin/groups 2
+        let full = rand(&[1, 4, 5, 5], 6);
+        let mut half = full.clone();
+        // Zero channels 2..4 (group 1's input).
+        let plane = 5 * 5;
+        for c in 2..4 {
+            for v in &mut half.data_mut()[c * plane..(c + 1) * plane] {
+                *v = 0.0;
+            }
+        }
+        let out_full = conv2d_grouped(&full, &weight, None, p, 2);
+        let out_half = conv2d_grouped(&half, &weight, None, p, 2);
+        let out_plane = 3 * 3;
+        // Group 0's outputs (channels 0..2) identical.
+        assert_eq!(
+            &out_full.data()[..2 * out_plane],
+            &out_half.data()[..2 * out_plane]
+        );
+        // Group 1's outputs are zero when its inputs are zero.
+        assert!(out_half.data()[2 * out_plane..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn grouped_matches_block_diagonal_plain_conv() {
+        // A grouped conv equals a plain conv whose weight is block-diagonal
+        // across groups.
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
+        let input = rand(&[2, 4, 5, 5], 7);
+        let gw = rand(&[6, 2, 3, 3], 8); // 2 groups: cout 6, cin/groups 2
+        let grouped = conv2d_grouped(&input, &gw, None, p, 2);
+        // Expand to a full [6, 4, 3, 3] weight with zeros off the blocks.
+        let mut full = Tensor::zeros(&[6, 4, 3, 3]);
+        for co in 0..6 {
+            let g = co / 3;
+            for ci in 0..2 {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        *full.at4_mut(co, g * 2 + ci, ky, kx) = gw.at4(co, ci, ky, kx);
+                    }
+                }
+            }
+        }
+        let plain = conv2d(&input, &full, None, p);
+        assert!(grouped.max_abs_diff(&plain) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_groups_panic() {
+        conv2d_grouped(
+            &Tensor::zeros(&[1, 3, 4, 4]),
+            &Tensor::zeros(&[4, 1, 3, 3]),
+            None,
+            Conv2dParams::default(),
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share batch and spatial")]
+    fn concat_shape_mismatch_panics() {
+        concat_channels(&[Tensor::zeros(&[1, 2, 4, 4]), Tensor::zeros(&[1, 2, 3, 3])]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Fully connected (dense) layers.
+
+use crate::ops::matmul::matmul;
+use crate::tensor::Tensor;
+
+/// Applies `y = x · Wᵀ + b` where `x` is `[batch, in]`, `weight` is
+/// `[out, in]` (PyTorch's `nn.Linear` layout) and `bias` is `[out]`.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    assert_eq!(input.ndim(), 2, "linear input must be [batch, in]");
+    assert_eq!(weight.ndim(), 2, "linear weight must be [out, in]");
+    let (out_f, in_f) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(
+        input.shape()[1],
+        in_f,
+        "feature mismatch: input {} vs weight {}",
+        input.shape()[1],
+        in_f
+    );
+    // Transpose the weight once; GEMM then streams rows of both operands.
+    let mut wt = Tensor::zeros(&[in_f, out_f]);
+    for o in 0..out_f {
+        for i in 0..in_f {
+            wt.data_mut()[i * out_f + o] = weight.at2(o, i);
+        }
+    }
+    let mut y = matmul(input, &wt);
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), out_f, "bias length must equal out features");
+        for row in y.data_mut().chunks_exact_mut(out_f) {
+            for (v, bv) in row.iter_mut().zip(b.data()) {
+                *v += bv;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_affine_map() {
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let w = Tensor::from_vec(&[3, 2], vec![1., 0., 0., 1., 1., 1.]);
+        let b = Tensor::from_vec(&[3], vec![10., 20., 30.]);
+        let y = linear(&x, &w, Some(&b));
+        assert_eq!(y.shape(), &[1, 3]);
+        assert_eq!(y.data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn batch_rows_independent() {
+        let x = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        let w = Tensor::from_vec(&[2, 2], vec![3., 4., 5., 6.]);
+        let y = linear(&x, &w, None);
+        assert_eq!(y.data(), &[3., 5., 4., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn feature_mismatch_panics() {
+        linear(&Tensor::zeros(&[1, 3]), &Tensor::zeros(&[2, 4]), None);
+    }
+
+    #[test]
+    fn no_bias_is_pure_matmul() {
+        let x = Tensor::from_vec(&[1, 2], vec![2.0, 3.0]);
+        let w = Tensor::from_vec(&[1, 2], vec![4.0, 5.0]);
+        let y = linear(&x, &w, None);
+        assert_eq!(y.data(), &[23.0]);
+    }
+}

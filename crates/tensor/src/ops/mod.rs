@@ -1,0 +1,22 @@
+//! Neural-network operator kernels.
+//!
+//! Every kernel is a pure function `(&Tensor, params) -> Tensor` over
+//! row-major NCHW buffers. Heavy kernels (convolution, GEMM) parallelise
+//! over disjoint output chunks via [`crate::parallel`]; cheap elementwise
+//! kernels stay serial.
+
+pub mod activation;
+pub mod conv;
+pub mod grouped;
+pub mod linear;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+
+pub use activation::{relu, sigmoid, softmax};
+pub use conv::{conv2d, conv2d_naive, Conv2dParams};
+pub use grouped::{concat_channels, conv2d_grouped, slice_channels};
+pub use linear::linear;
+pub use matmul::matmul;
+pub use norm::batch_norm2d;
+pub use pool::{avg_pool2d, global_avg_pool2d, max_pool2d};

@@ -1,0 +1,134 @@
+//! Inference-mode batch normalisation.
+//!
+//! At inference time batch norm is a per-channel affine transform using the
+//! running statistics captured during training:
+//! `y = γ · (x − μ) / sqrt(σ² + ε) + β`.
+
+use crate::tensor::Tensor;
+
+/// Per-channel batch-norm parameters (inference mode).
+#[derive(Debug, Clone)]
+pub struct BatchNormParams {
+    /// Scale (γ), one per channel.
+    pub gamma: Vec<f32>,
+    /// Shift (β), one per channel.
+    pub beta: Vec<f32>,
+    /// Running mean (μ), one per channel.
+    pub mean: Vec<f32>,
+    /// Running variance (σ²), one per channel.
+    pub var: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNormParams {
+    /// Identity normalisation for `c` channels (γ=1, β=0, μ=0, σ²=1).
+    pub fn identity(c: usize) -> Self {
+        BatchNormParams {
+            gamma: vec![1.0; c],
+            beta: vec![0.0; c],
+            mean: vec![0.0; c],
+            var: vec![1.0; c],
+            eps: 1e-5,
+        }
+    }
+}
+
+/// Applies inference-mode batch norm over an NCHW tensor.
+pub fn batch_norm2d(mut input: Tensor, p: &BatchNormParams) -> Tensor {
+    assert_eq!(input.ndim(), 4, "batch_norm2d input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert_eq!(p.gamma.len(), c, "gamma length must equal channels");
+    assert!(
+        p.beta.len() == c && p.mean.len() == c && p.var.len() == c,
+        "batch-norm parameter lengths must equal channels"
+    );
+    let plane = h * w;
+    // Precompute per-channel scale/shift: y = a·x + b.
+    let coeffs: Vec<(f32, f32)> = (0..c)
+        .map(|ci| {
+            let a = p.gamma[ci] / (p.var[ci] + p.eps).sqrt();
+            let b = p.beta[ci] - a * p.mean[ci];
+            (a, b)
+        })
+        .collect();
+    let data = input.data_mut();
+    for ni in 0..n {
+        for (ci, &(a, b)) in coeffs.iter().enumerate() {
+            let base = (ni * c + ci) * plane;
+            for v in &mut data[base..base + plane] {
+                *v = a * *v + b;
+            }
+        }
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_params_are_noop_modulo_eps() {
+        let input = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let out = batch_norm2d(input.clone(), &BatchNormParams::identity(2));
+        assert!(out.max_abs_diff(&input) < 1e-4);
+    }
+
+    #[test]
+    fn normalises_known_channel_stats() {
+        let input = Tensor::from_vec(&[1, 1, 1, 4], vec![2.0, 4.0, 6.0, 8.0]);
+        let p = BatchNormParams {
+            gamma: vec![1.0],
+            beta: vec![0.0],
+            mean: vec![5.0],
+            var: vec![5.0],
+            eps: 0.0,
+        };
+        let out = batch_norm2d(input, &p);
+        let s = 5.0f32.sqrt();
+        let expect = [-3.0 / s, -1.0 / s, 1.0 / s, 3.0 / s];
+        for (a, e) in out.data().iter().zip(expect) {
+            assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affine() {
+        let input = Tensor::from_vec(&[1, 1, 1, 2], vec![0.0, 1.0]);
+        let p = BatchNormParams {
+            gamma: vec![2.0],
+            beta: vec![10.0],
+            mean: vec![0.0],
+            var: vec![1.0],
+            eps: 0.0,
+        };
+        let out = batch_norm2d(input, &p);
+        assert_eq!(out.data(), &[10.0, 12.0]);
+    }
+
+    #[test]
+    fn channels_normalised_independently() {
+        let input = Tensor::from_vec(&[1, 2, 1, 1], vec![1.0, 1.0]);
+        let p = BatchNormParams {
+            gamma: vec![1.0, 3.0],
+            beta: vec![0.0, 0.0],
+            mean: vec![0.0, 0.0],
+            var: vec![1.0, 1.0],
+            eps: 0.0,
+        };
+        let out = batch_norm2d(input, &p);
+        assert_eq!(out.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length")]
+    fn wrong_channel_count_panics() {
+        batch_norm2d(Tensor::zeros(&[1, 3, 2, 2]), &BatchNormParams::identity(2));
+    }
+}

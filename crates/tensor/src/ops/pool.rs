@@ -1,0 +1,161 @@
+//! Spatial pooling over NCHW tensors.
+
+use crate::tensor::Tensor;
+
+fn pooled_hw(h: usize, w: usize, k: usize, stride: usize) -> (usize, usize) {
+    assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+    assert!(h >= k && w >= k, "pool kernel {k} larger than input {h}x{w}");
+    ((h - k) / stride + 1, (w - k) / stride + 1)
+}
+
+/// Max pooling with a `k`×`k` window and the given stride.
+pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "pooling input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oh, ow) = pooled_hw(h, w, k, stride);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            best = best.max(input.at4(ni, ci, oy * stride + ky, ox * stride + kx));
+                        }
+                    }
+                    *out.at4_mut(ni, ci, oy, ox) = best;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Average pooling with a `k`×`k` window and the given stride.
+pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "pooling input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oh, ow) = pooled_hw(h, w, k, stride);
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += input.at4(ni, ci, oy * stride + ky, ox * stride + kx);
+                        }
+                    }
+                    *out.at4_mut(ni, ci, oy, ox) = acc * inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: collapses each channel plane to one value,
+/// producing `[n, c]` (the standard pre-classifier reduction in ResNets).
+pub fn global_avg_pool2d(input: &Tensor) -> Tensor {
+    assert_eq!(input.ndim(), 4, "pooling input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let sum: f32 = input.data()[base..base + plane].iter().sum();
+            out.data_mut()[ni * c + ci] = sum * inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_max() {
+        let input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        );
+        let out = max_pool2d(&input, 2, 2);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[6., 8., 14., 16.]);
+    }
+
+    #[test]
+    fn avg_pool_averages_window() {
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 3., 5., 7.]);
+        let out = avg_pool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn overlapping_stride_one() {
+        let input = Tensor::from_vec(&[1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let out = max_pool2d(&input, 2, 1);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn global_avg_pool_flattens_planes() {
+        let input = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let out = global_avg_pool2d(&input);
+        assert_eq!(out.shape(), &[2, 3]);
+        // First plane is [0,1,2,3] → mean 1.5.
+        assert_eq!(out.at2(0, 0), 1.5);
+        // Planes are contiguous blocks of 4.
+        assert_eq!(out.at2(0, 1), 5.5);
+        assert_eq!(out.at2(1, 2), 21.5);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let mut input = Tensor::zeros(&[1, 2, 2, 2]);
+        *input.at4_mut(0, 0, 0, 0) = 10.0;
+        *input.at4_mut(0, 1, 1, 1) = 20.0;
+        let out = max_pool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_kernel_panics() {
+        max_pool2d(&Tensor::zeros(&[1, 1, 2, 2]), 3, 1);
+    }
+
+    #[test]
+    fn negative_values_survive_max_pool() {
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![-5., -3., -9., -7.]);
+        let out = max_pool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[-3.0]);
+    }
+}

@@ -1,0 +1,259 @@
+//! A dense, row-major, `f32` n-dimensional tensor.
+//!
+//! Deliberately minimal: owned storage, eager ops, no autograd, no views —
+//! inference only needs forward passes over contiguous buffers, and
+//! contiguous `Vec<f32>` keeps every kernel a straight loop the compiler can
+//! vectorise.
+
+use gfaas_sim::rng::DetRng;
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
+    }
+
+    /// Builds a tensor from existing data; `data.len()` must equal the
+    /// product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match {} elements",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..numel).map(&mut f).collect(),
+        }
+    }
+
+    /// Kaiming-uniform style random init in `[-bound, bound]` where
+    /// `bound = sqrt(6 / fan_in)`; deterministic given the RNG.
+    pub fn rand_kaiming(shape: &[usize], fan_in: usize, rng: &mut DetRng) -> Self {
+        let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+        Tensor::from_fn(shape, |_| rng.range_f64(-bound, bound) as f32)
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable flat view of the data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, yielding its flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape to {shape:?} changes element count"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at 4-D index `[n, c, h, w]` (tensor must be 4-D).
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 4);
+        let (cs, hs, ws) = (self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Mutable element at 4-D index `[n, c, h, w]`.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.ndim(), 4);
+        let (cs, hs, ws) = (self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Element at 2-D index `[r, c]` (tensor must be 2-D).
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise addition of a same-shape tensor.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Index of the maximum element in each row of a 2-D tensor
+    /// (argmax over the class axis — the classification output).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows needs a 2-D tensor");
+        let cols = self.shape[1];
+        self.data
+            .chunks_exact(cols)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn from_fn_indexing() {
+        let t = Tensor::from_fn(&[2, 2], |i| i as f32);
+        assert_eq!(t.at2(0, 0), 0.0);
+        assert_eq!(t.at2(0, 1), 1.0);
+        assert_eq!(t.at2(1, 0), 2.0);
+        assert_eq!(t.at2(1, 1), 3.0);
+    }
+
+    #[test]
+    fn at4_row_major_layout() {
+        let t = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at4(0, 0, 0, 4), 4.0);
+        assert_eq!(t.at4(0, 0, 1, 0), 5.0);
+        assert_eq!(t.at4(0, 1, 0, 0), 20.0);
+        assert_eq!(t.at4(1, 0, 0, 0), 60.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_wrong_count_panics() {
+        Tensor::zeros(&[2, 2]).reshape(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_shape_mismatch_panics() {
+        Tensor::from_vec(&[3], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn kaiming_is_deterministic_and_bounded() {
+        let mut r1 = DetRng::new(3);
+        let mut r2 = DetRng::new(3);
+        let a = Tensor::rand_kaiming(&[8, 8], 64, &mut r1);
+        let b = Tensor::rand_kaiming(&[8, 8], 64, &mut r2);
+        assert_eq!(a, b);
+        let bound = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn map_and_add() {
+        let mut t = Tensor::from_vec(&[3], vec![1.0, -2.0, 3.0]);
+        t.map_inplace(|v| v * 2.0);
+        assert_eq!(t.data(), &[2.0, -4.0, 6.0]);
+        let o = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]);
+        t.add_assign(&o);
+        assert_eq!(t.data(), &[3.0, -3.0, 7.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

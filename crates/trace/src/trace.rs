@@ -1,0 +1,276 @@
+//! Trace containers, statistics, and CSV IO.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+use gfaas_sim::time::SimTime;
+
+/// One invocation in a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Function rank in the trace's popularity order (0 = most popular).
+    pub function: u32,
+    /// The Table I model this function maps to.
+    pub model: u32,
+}
+
+/// A workload trace, sorted by arrival time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    requests: Vec<TraceRequest>,
+}
+
+/// Summary statistics of a trace (the §V-A1 quantities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total invocations.
+    pub total: usize,
+    /// Number of distinct functions (the working set).
+    pub working_set: usize,
+    /// Number of distinct models referenced.
+    pub distinct_models: usize,
+    /// Fraction of invocations going to the 15 most popular functions.
+    pub top15_share: f64,
+    /// Trace duration from first to last arrival.
+    pub span_secs: f64,
+    /// Invocations per minute, averaged over the span.
+    pub rate_per_min: f64,
+}
+
+impl Trace {
+    /// Builds a trace, sorting requests by arrival time (stable, so equal
+    /// timestamps keep generation order).
+    pub fn new(mut requests: Vec<TraceRequest>) -> Self {
+        requests.sort_by_key(|r| r.at);
+        Trace { requests }
+    }
+
+    /// The requests, in arrival order.
+    pub fn requests(&self) -> &[TraceRequest] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True iff the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Per-function invocation counts, keyed by function rank.
+    pub fn function_counts(&self) -> BTreeMap<u32, usize> {
+        let mut counts = BTreeMap::new();
+        for r in &self.requests {
+            *counts.entry(r.function).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The most invoked model (ties broken toward the lower id), if any.
+    pub fn hottest_model(&self) -> Option<u32> {
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for r in &self.requests {
+            *counts.entry(r.model).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(m, _)| m)
+    }
+
+    /// Per-minute request counts over the trace horizon (the quantity the
+    /// paper normalises to 325).
+    pub fn minute_counts(&self) -> Vec<usize> {
+        let Some(last) = self.requests.last() else {
+            return Vec::new();
+        };
+        let minutes = (last.at.as_secs_f64() / 60.0) as usize + 1;
+        let mut counts = vec![0usize; minutes];
+        for r in &self.requests {
+            counts[(r.at.as_secs_f64() / 60.0) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Computes the summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let total = self.requests.len();
+        let counts = self.function_counts();
+        let mut by_count: Vec<usize> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top15: usize = by_count.iter().take(15).sum();
+        let distinct_models = {
+            let mut models: Vec<u32> = self.requests.iter().map(|r| r.model).collect();
+            models.sort_unstable();
+            models.dedup();
+            models.len()
+        };
+        let span_secs = match (self.requests.first(), self.requests.last()) {
+            (Some(f), Some(l)) => l.at.duration_since(f.at).as_secs_f64(),
+            _ => 0.0,
+        };
+        TraceStats {
+            total,
+            working_set: counts.len(),
+            distinct_models,
+            top15_share: if total == 0 {
+                0.0
+            } else {
+                top15 as f64 / total as f64
+            },
+            span_secs,
+            rate_per_min: if span_secs > 0.0 {
+                total as f64 / (span_secs / 60.0)
+            } else {
+                total as f64
+            },
+        }
+    }
+
+    /// Writes the trace as CSV (`time_secs,function,model`).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "time_secs,function,model")?;
+        for r in &self.requests {
+            writeln!(w, "{:.6},{},{}", r.at.as_secs_f64(), r.function, r.model)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a CSV trace written by [`Trace::write_csv`] (or extracted
+    /// from the real Azure trace with the same columns).
+    pub fn read_csv<R: BufRead>(r: R) -> std::io::Result<Trace> {
+        let mut requests = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("time_secs")) {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let parse_err = |what: &str| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}: {line}", lineno + 1),
+                )
+            };
+            let secs: f64 = parts
+                .next()
+                .ok_or_else(|| parse_err("time"))?
+                .parse()
+                .map_err(|_| parse_err("time"))?;
+            let function: u32 = parts
+                .next()
+                .ok_or_else(|| parse_err("function"))?
+                .parse()
+                .map_err(|_| parse_err("function"))?;
+            let model: u32 = parts
+                .next()
+                .ok_or_else(|| parse_err("model"))?
+                .parse()
+                .map_err(|_| parse_err("model"))?;
+            requests.push(TraceRequest {
+                at: SimTime::from_secs_f64(secs),
+                function,
+                model,
+            });
+        }
+        Ok(Trace::new(requests))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(s: f64, f: u32, m: u32) -> TraceRequest {
+        TraceRequest {
+            at: SimTime::from_secs_f64(s),
+            function: f,
+            model: m,
+        }
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let t = Trace::new(vec![req(5.0, 0, 0), req(1.0, 1, 1), req(3.0, 2, 2)]);
+        let times: Vec<f64> = t.requests().iter().map(|r| r.at.as_secs_f64()).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn stats_compute_shares() {
+        // 3 functions: f0 ×6, f1 ×3, f2 ×1 over 60 s.
+        let mut reqs = Vec::new();
+        for i in 0..6 {
+            reqs.push(req(i as f64, 0, 0));
+        }
+        for i in 0..3 {
+            reqs.push(req(10.0 + i as f64, 1, 1));
+        }
+        reqs.push(req(60.0, 2, 0));
+        let s = Trace::new(reqs).stats();
+        assert_eq!(s.total, 10);
+        assert_eq!(s.working_set, 3);
+        assert_eq!(s.distinct_models, 2);
+        assert_eq!(s.top15_share, 1.0); // all functions are within top 15
+        assert!((s.span_secs - 60.0).abs() < 1e-9);
+        assert!((s.rate_per_min - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minute_counts_bucket_correctly() {
+        let t = Trace::new(vec![
+            req(0.0, 0, 0),
+            req(59.999, 1, 0),
+            req(60.0, 2, 0),
+            req(125.0, 3, 0),
+        ]);
+        assert_eq!(t.minute_counts(), vec![2, 1, 1]);
+        assert!(Trace::default().minute_counts().is_empty());
+    }
+
+    #[test]
+    fn hottest_model_majority() {
+        let t = Trace::new(vec![req(0.0, 0, 3), req(1.0, 1, 3), req(2.0, 2, 7)]);
+        assert_eq!(t.hottest_model(), Some(3));
+        assert_eq!(Trace::default().hottest_model(), None);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = Trace::new(vec![req(0.25, 3, 1), req(1.5, 0, 2), req(59.999999, 7, 0)]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let parsed = Trace::read_csv(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.requests(), t.requests());
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let bad = "time_secs,function,model\nnot-a-number,0,0\n";
+        assert!(Trace::read_csv(std::io::BufReader::new(bad.as_bytes())).is_err());
+        let short = "1.0,2\n";
+        assert!(Trace::read_csv(std::io::BufReader::new(short.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn csv_skips_header_and_blank_lines() {
+        let s = "time_secs,function,model\n\n1.000000,2,3\n\n";
+        let t = Trace::read_csv(std::io::BufReader::new(s.as_bytes())).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.requests()[0].function, 2);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = Trace::default().stats();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.top15_share, 0.0);
+        assert_eq!(s.working_set, 0);
+    }
+}

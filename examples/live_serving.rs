@@ -1,0 +1,54 @@
+//! Live serving: Gateway → LiveServer → real CPU inference.
+//!
+//! The fifth execution mode: GPU-enabled functions registered at the
+//! Gateway are dispatched into a [`gfaas_core::LiveServer`], which makes
+//! the same residency-first placement and LRU eviction decisions as the
+//! experiments but executes each request as an actual forward pass over
+//! the model's miniature network. The response carries both the real
+//! wall-clock compute time and the virtual latency the full-size model
+//! would have had (profiled load + inference).
+//!
+//! ```text
+//! cargo run --release -p gfaas-bench --example live_serving
+//! ```
+
+use gfaas_core::LiveServer;
+use gfaas_gpu::GpuSpec;
+use gfaas_models::ModelRegistry;
+
+fn main() {
+    let mut server = LiveServer::new(2, GpuSpec::rtx2080(), ModelRegistry::table1());
+
+    // A warm-up/steady-state request mix: repeats hit, new models miss
+    // and eventually evict.
+    let workload = [
+        "resnet50",
+        "resnet50",
+        "vgg16",
+        "resnet50",
+        "vgg19",
+        "vgg16",
+        "squeezenet1.1",
+        "resnet50",
+    ];
+
+    println!(
+        "{:>16} {:>5} {:>6} {:>14} {:>12}  labels",
+        "model", "gpu", "hit", "virtual_lat(s)", "wall(ms)"
+    );
+    for (i, name) in workload.iter().enumerate() {
+        let resp = server.serve(name, 4, i as u64).expect("model in zoo");
+        println!(
+            "{:>16} {:>5} {:>6} {:>14.2} {:>12.1}  {:?}",
+            name,
+            resp.gpu.to_string(),
+            resp.cache_hit,
+            resp.virtual_latency.as_secs_f64(),
+            resp.wall.as_secs_f64() * 1e3,
+            resp.labels
+        );
+    }
+    println!("\nserved {} requests on 2 simulated GPUs", server.served());
+    println!("hits skip the model upload: compare the virtual latencies above");
+    println!("(a miss pays the Table I load time, a hit only the inference).");
+}
