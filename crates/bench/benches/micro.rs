@@ -83,7 +83,7 @@ fn bench_datastore(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             let key = format!("/gpu/{}/status", i % 12);
-            ds.put(&key, if i % 2 == 0 { "busy" } else { "idle" });
+            ds.put(&key, if i.is_multiple_of(2) { "busy" } else { "idle" });
             black_box(ds.get(&key));
             i = i.wrapping_add(1);
         })

@@ -13,7 +13,10 @@ use gfaas_core::Policy;
 
 fn main() {
     println!("Fig 4 — scheduler comparison on the paper testbed (12x RTX 2080,");
-    println!("Azure-like trace, 325 req/min x 6 min, batch 32, {} seeds averaged)\n", REPORT_SEEDS.len());
+    println!(
+        "Azure-like trace, 325 req/min x 6 min, batch 32, {} seeds averaged)\n",
+        REPORT_SEEDS.len()
+    );
 
     let t = TablePrinter::new(&[4, 8, 14, 12, 10, 12, 12]);
     println!(

@@ -16,9 +16,15 @@ use gfaas_bench::{
 use gfaas_core::Policy;
 
 fn main() {
-    println!("Fig 5 — false-miss ratio (false misses / misses), {} seeds averaged\n", REPORT_SEEDS.len());
+    println!(
+        "Fig 5 — false-miss ratio (false misses / misses), {} seeds averaged\n",
+        REPORT_SEEDS.len()
+    );
     let t = TablePrinter::new(&[4, 8, 12, 14]);
-    println!("{}", t.header(&["WS", "policy", "false_miss", "red_vs_LB(%)"]));
+    println!(
+        "{}",
+        t.header(&["WS", "policy", "false_miss", "red_vs_LB(%)"])
+    );
     for ws in WORKING_SETS {
         let mut lb = 0.0;
         for policy in paper_policies() {

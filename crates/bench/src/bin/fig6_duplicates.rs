@@ -20,7 +20,10 @@ fn main() {
         REPORT_SEEDS.len()
     );
     let t = TablePrinter::new(&[4, 8, 12, 14]);
-    println!("{}", t.header(&["WS", "policy", "duplicates", "red_vs_LB(%)"]));
+    println!(
+        "{}",
+        t.header(&["WS", "policy", "duplicates", "red_vs_LB(%)"])
+    );
     for ws in WORKING_SETS {
         let mut lb = 0.0;
         for policy in paper_policies() {

@@ -48,7 +48,16 @@ fn main() {
     }
     let (b, l) = (base.unwrap(), last.unwrap());
     println!("\nlimit 45 vs limit 0 (= LALB):");
-    println!("  latency reduction:  {:.1}%  (paper: 85.1%)", reduction_pct(b.0, l.0));
-    println!("  miss-ratio reduction: {:.1}%  (paper: 45.8%)", reduction_pct(b.1, l.1));
-    println!("  variance reduction: {:.1}%  (paper: 95.9%)", reduction_pct(b.2, l.2));
+    println!(
+        "  latency reduction:  {:.1}%  (paper: 85.1%)",
+        reduction_pct(b.0, l.0)
+    );
+    println!(
+        "  miss-ratio reduction: {:.1}%  (paper: 45.8%)",
+        reduction_pct(b.1, l.1)
+    );
+    println!(
+        "  variance reduction: {:.1}%  (paper: 95.9%)",
+        reduction_pct(b.2, l.2)
+    );
 }

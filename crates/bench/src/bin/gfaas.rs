@@ -79,7 +79,10 @@ fn print_metrics(name: &str, m: &RunMetrics) {
     println!("{name}:");
     println!("  completed         {}", m.completed);
     println!("  avg latency       {:.3} s", m.avg_latency_secs);
-    println!("  p50 / p99 latency {:.3} / {:.3} s", m.p50_latency_secs, m.p99_latency_secs);
+    println!(
+        "  p50 / p99 latency {:.3} / {:.3} s",
+        m.p50_latency_secs, m.p99_latency_secs
+    );
     println!("  latency variance  {:.3}", m.latency_variance);
     println!("  max latency       {:.3} s", m.max_latency_secs);
     println!("  miss ratio        {:.4}", m.miss_ratio);
@@ -133,7 +136,10 @@ fn cmd_run(flags: HashMap<String, String>) {
         runs.push(m);
     }
     if runs.len() == 1 {
-        print_metrics(&format!("{} ws{ws} seed{}", policy.name(), seeds[0]), &runs[0]);
+        print_metrics(
+            &format!("{} ws{ws} seed{}", policy.name(), seeds[0]),
+            &runs[0],
+        );
     } else {
         let avg = gfaas_bench::AveragedMetrics::from_runs(&runs);
         println!(
@@ -153,7 +159,10 @@ fn cmd_profile() {
     let registry = ModelRegistry::table1();
     let profiles = profile_all(&registry, &PcieModel::table1(), 42);
     let t = TablePrinter::new(&[17, 10, 10, 11]);
-    println!("{}", t.header(&["model", "size(MB)", "load'(s)", "infer32'(s)"]));
+    println!(
+        "{}",
+        t.header(&["model", "size(MB)", "load'(s)", "infer32'(s)"])
+    );
     for p in &profiles {
         let spec = registry.spec(p.model);
         println!(

@@ -50,7 +50,11 @@ pub struct CacheManager {
 impl CacheManager {
     /// A manager over `gpus` with the given policy. The RNG only matters
     /// for [`ReplacementPolicy::Random`].
-    pub fn new(gpus: impl IntoIterator<Item = GpuId>, policy: ReplacementPolicy, seed: u64) -> Self {
+    pub fn new(
+        gpus: impl IntoIterator<Item = GpuId>,
+        policy: ReplacementPolicy,
+        seed: u64,
+    ) -> Self {
         CacheManager {
             policy,
             per_gpu: gpus.into_iter().map(|g| (g, GpuCache::default())).collect(),

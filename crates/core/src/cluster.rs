@@ -236,7 +236,9 @@ impl Cluster {
 
         debug_assert!(self.global_queue.is_empty(), "requests left undispatched");
         debug_assert!(
-            self.units.iter().all(|u| u.is_idle() && u.local_queue.is_empty()),
+            self.units
+                .iter()
+                .all(|u| u.is_idle() && u.local_queue.is_empty()),
             "GPUs left busy after the event queue drained"
         );
 
@@ -408,20 +410,13 @@ impl Cluster {
     fn idle_order(&self) -> Vec<usize> {
         let mut idle: Vec<usize> = (0..self.units.len())
             .filter(|&i| self.units[i].is_idle())
-            .filter(|&i| {
-                !self.units[i].local_queue.is_empty() || !self.global_queue.is_empty()
-            })
+            .filter(|&i| !self.units[i].local_queue.is_empty() || !self.global_queue.is_empty())
             .collect();
         match self.config.policy {
             // "The list of idle GPUs (sorted by frequency)": GPUs serving
             // more hits first, so hot caches are matched before cold ones.
             Policy::Lalb { .. } => {
-                idle.sort_by(|&a, &b| {
-                    self.units[b]
-                        .hits
-                        .cmp(&self.units[a].hits)
-                        .then(a.cmp(&b))
-                });
+                idle.sort_by(|&a, &b| self.units[b].hits.cmp(&self.units[a].hits).then(a.cmp(&b)));
             }
             // LB: longest idle first (pure load spreading).
             Policy::LoadBalance => {
@@ -455,12 +450,7 @@ impl Cluster {
 
     /// Algorithm 1 for one idle GPU. Returns true if any dispatch or
     /// local-queue move happened.
-    fn lalb_dispatch(
-        &mut self,
-        gi: usize,
-        o3_limit: u32,
-        events: &mut EventQueue<Event>,
-    ) -> bool {
+    fn lalb_dispatch(&mut self, gi: usize, o3_limit: u32, events: &mut EventQueue<Event>) -> bool {
         let g = self.units[gi].id();
         let mut progress = false;
 
@@ -834,7 +824,10 @@ mod tests {
         // and no idle GPU nothing dispatches until one frees.
         assert_eq!(m.completed, 4);
         assert_eq!(m.misses, 2, "duplicate replica created by load balancing");
-        assert_eq!(m.false_misses, 1, "the replica is a false miss by definition");
+        assert_eq!(
+            m.false_misses, 1,
+            "the replica is a false miss by definition"
+        );
     }
 
     #[test]
@@ -878,8 +871,7 @@ mod tests {
             let mut cfg = ClusterConfig::test(1, 250, Policy::lalb_with_limit(limit));
             cfg.report_to_datastore = true;
             let ds = Arc::new(Datastore::new());
-            let mut c =
-                Cluster::new(cfg, toy_registry(2)).with_datastore(Arc::clone(&ds));
+            let mut c = Cluster::new(cfg, toy_registry(2)).with_datastore(Arc::clone(&ds));
             let mut reqs = vec![(0.0, 0), (0.1, 1)]; // id 0 = m0, id 1 = m1
             for i in 0..20 {
                 reqs.push((0.2 + i as f64 * 0.01, 0));
@@ -974,7 +966,11 @@ mod tests {
         cfg.hetero_specs = Some(vec![gfaas_gpu::GpuSpec::test(1000).with_scales(0.5, 0.5)]);
         let mut c = Cluster::new(cfg, toy_registry(1));
         let m = c.run(&trace_of(&[(0.0, 0)]));
-        assert!((m.avg_latency_secs - 1.0).abs() < 1e-6, "{}", m.avg_latency_secs);
+        assert!(
+            (m.avg_latency_secs - 1.0).abs() < 1e-6,
+            "{}",
+            m.avg_latency_secs
+        );
     }
 
     #[test]
@@ -1008,7 +1004,11 @@ mod tests {
         assert_eq!(m.completed, 3);
         // Serialised: 2 s (cold) + 1 s + 1 s → last completes at t=4,
         // so max latency is 4 s (vs 2 s if run in parallel).
-        assert!((m.max_latency_secs - 4.0).abs() < 1e-6, "{}", m.max_latency_secs);
+        assert!(
+            (m.max_latency_secs - 4.0).abs() < 1e-6,
+            "{}",
+            m.max_latency_secs
+        );
     }
 
     #[test]

@@ -107,12 +107,11 @@ impl GpuUnit {
                 wait += infer_time(f.request.model, f.request.batch);
             }
         }
-        wait
-            + self
-                .local_queue
-                .iter()
-                .map(|r| infer_time(r.model, r.batch))
-                .sum()
+        wait + self
+            .local_queue
+            .iter()
+            .map(|r| infer_time(r.model, r.batch))
+            .sum()
     }
 
     /// Estimated finish time of a *new* hit request appended after the

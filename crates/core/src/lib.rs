@@ -35,8 +35,8 @@ pub mod scheduler;
 
 pub use cache::{CacheManager, ReplacementPolicy};
 pub use cluster::Cluster;
-pub use live::{LiveResponse, LiveServer};
 pub use config::ClusterConfig;
+pub use live::{LiveResponse, LiveServer};
 pub use metrics::RunMetrics;
 pub use request::Request;
 pub use scheduler::Policy;

@@ -202,7 +202,10 @@ mod tests {
         ));
         assert_eq!(pool.tick(t(1)), 0);
         assert_eq!(pool.tick(t(2)), 1);
-        assert!(matches!(pool.get(id).unwrap().state, ContainerState::Running));
+        assert!(matches!(
+            pool.get(id).unwrap().state,
+            ContainerState::Running
+        ));
         assert_eq!(pool.running("f"), 1);
     }
 

@@ -137,7 +137,9 @@ impl Datastore {
         value: impl Into<Bytes>,
         lease: LeaseId,
     ) -> Revision {
-        self.inner.lock().put(key.as_ref(), value.into(), Some(lease))
+        self.inner
+            .lock()
+            .put(key.as_ref(), value.into(), Some(lease))
     }
 
     /// Reads a key.
@@ -320,7 +322,10 @@ mod tests {
         ds.put("lock", b("free"));
         let r = ds.txn(
             &[Compare::ValueEquals("lock".into(), b("free"))],
-            &[Op::Put("lock".into(), b("held")), Op::Put("owner".into(), b("me"))],
+            &[
+                Op::Put("lock".into(), b("held")),
+                Op::Put("owner".into(), b("me")),
+            ],
             &[],
         );
         assert!(r.succeeded);

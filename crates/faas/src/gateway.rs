@@ -117,7 +117,11 @@ impl Gateway {
 
     /// Reads a registered spec (the `read` of CRUD).
     pub fn get(&self, name: &str) -> Option<FunctionSpec> {
-        self.registry.lock().iter().find(|f| f.name == name).cloned()
+        self.registry
+            .lock()
+            .iter()
+            .find(|f| f.name == name)
+            .cloned()
     }
 
     /// Replaces a registered spec (the `update` of CRUD).
@@ -299,7 +303,12 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         g.set_dispatcher(Box::new(Collect(Arc::clone(&seen))));
         let res = g
-            .invoke("cls", Bytes::from_static(b"img"), SimTime::from_secs(3), &mut Echo)
+            .invoke(
+                "cls",
+                Bytes::from_static(b"img"),
+                SimTime::from_secs(3),
+                &mut Echo,
+            )
             .unwrap();
         assert!(res.is_none(), "GPU path completes asynchronously");
         let got = seen.lock();

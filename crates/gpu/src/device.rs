@@ -81,7 +81,10 @@ impl GpuSpec {
 
     /// Returns a copy with the given scale factors (heterogeneity tests).
     pub fn with_scales(mut self, compute_scale: f64, load_scale: f64) -> Self {
-        assert!(compute_scale > 0.0 && load_scale > 0.0, "scales must be positive");
+        assert!(
+            compute_scale > 0.0 && load_scale > 0.0,
+            "scales must be positive"
+        );
         self.compute_scale = compute_scale;
         self.load_scale = load_scale;
         self
@@ -328,7 +331,10 @@ impl GpuDevice {
         if !self.is_idle() {
             return Err(GpuError::Busy(self.state));
         }
-        let proc = self.procs.get_mut(&model).ok_or(GpuError::NotResident(model))?;
+        let proc = self
+            .procs
+            .get_mut(&model)
+            .ok_or(GpuError::NotResident(model))?;
         if !matches!(proc.state, ProcState::Ready) {
             return Err(GpuError::ProcessBusy(model));
         }
@@ -348,7 +354,9 @@ impl GpuDevice {
         match self.state {
             DeviceState::Running { model: m, until } if m == model => {
                 if t < until {
-                    return Err(GpuError::BadCompletion("inference completion arrived early"));
+                    return Err(GpuError::BadCompletion(
+                        "inference completion arrived early",
+                    ));
                 }
                 self.sm.end(t);
                 let proc = self.procs.get_mut(&model).expect("running proc exists");
@@ -385,7 +393,10 @@ impl GpuDevice {
     /// drops to idle; an open SM interval is closed at `t`. Returns the
     /// freed bytes.
     pub fn force_kill(&mut self, t: SimTime, model: ModelId) -> Result<u64, GpuError> {
-        let proc = self.procs.remove(&model).ok_or(GpuError::NotResident(model))?;
+        let proc = self
+            .procs
+            .remove(&model)
+            .ok_or(GpuError::NotResident(model))?;
         match self.state {
             DeviceState::Loading { model: m, .. } if m == model => {
                 self.state = DeviceState::Idle;
@@ -523,7 +534,8 @@ mod tests {
         assert!(!d.has_model(M1));
         assert_eq!(d.used_bytes(), 0);
         // Device is reusable afterwards.
-        d.start_load(r + SimDuration::from_secs(1), M2, 50 * MIB).unwrap();
+        d.start_load(r + SimDuration::from_secs(1), M2, 50 * MIB)
+            .unwrap();
     }
 
     #[test]

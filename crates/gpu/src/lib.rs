@@ -34,7 +34,7 @@ pub mod sm;
 pub use device::{DeviceState, GpuDevice, GpuError, GpuSpec};
 pub use memory::{AllocId, MemoryPool, OomError};
 pub use pcie::PcieModel;
-pub use process::{GpuProcess, ProcState, ProcId};
+pub use process::{GpuProcess, ProcId, ProcState};
 pub use sm::SmTracker;
 
 /// Identifies one physical GPU in the cluster (unique across nodes).

@@ -50,7 +50,13 @@ pub struct GpuProcess {
 
 impl GpuProcess {
     /// Creates a process that starts uploading immediately.
-    pub fn spawn(pid: ProcId, model: ModelId, alloc: AllocId, at: SimTime, ready_at: SimTime) -> Self {
+    pub fn spawn(
+        pid: ProcId,
+        model: ModelId,
+        alloc: AllocId,
+        at: SimTime,
+        ready_at: SimTime,
+    ) -> Self {
         GpuProcess {
             pid,
             model,

@@ -62,11 +62,7 @@ pub fn profile_model(
 }
 
 /// Profiles every model in the registry (the full Table I regeneration).
-pub fn profile_all(
-    registry: &ModelRegistry,
-    pcie: &PcieModel,
-    seed: u64,
-) -> Vec<MeasuredProfile> {
+pub fn profile_all(registry: &ModelRegistry, pcie: &PcieModel, seed: u64) -> Vec<MeasuredProfile> {
     let mut rng = DetRng::new(seed);
     registry
         .ids()
@@ -125,7 +121,11 @@ mod tests {
                 p.infer_secs_b32,
                 paper
             );
-            assert!(p.fit.r_squared > 0.95, "poor fit for {}", reg.spec(p.model).name);
+            assert!(
+                p.fit.r_squared > 0.95,
+                "poor fit for {}",
+                reg.spec(p.model).name
+            );
         }
     }
 

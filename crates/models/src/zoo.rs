@@ -44,28 +44,160 @@ pub struct ModelSpec {
 
 /// The 22 models of Table I, in the paper's (size-ascending) order.
 pub const TABLE1: &[ModelSpec] = &[
-    ModelSpec { name: "squeezenet1.1",    occupancy_mib: 1269, load_secs: 2.41, infer_secs_b32: 1.28, family: Family::SqueezeNet },
-    ModelSpec { name: "resnet18",         occupancy_mib: 1313, load_secs: 2.52, infer_secs_b32: 1.25, family: Family::ResNet },
-    ModelSpec { name: "resnet34",         occupancy_mib: 1357, load_secs: 2.60, infer_secs_b32: 1.25, family: Family::ResNet },
-    ModelSpec { name: "squeezenet1.0",    occupancy_mib: 1435, load_secs: 2.32, infer_secs_b32: 1.33, family: Family::SqueezeNet },
-    ModelSpec { name: "alexnet",          occupancy_mib: 1437, load_secs: 2.81, infer_secs_b32: 1.25, family: Family::AlexNet },
-    ModelSpec { name: "resnext50.32x4d",  occupancy_mib: 1555, load_secs: 2.64, infer_secs_b32: 1.29, family: Family::ResNeXt },
-    ModelSpec { name: "densenet121",      occupancy_mib: 1601, load_secs: 2.49, infer_secs_b32: 1.28, family: Family::DenseNet },
-    ModelSpec { name: "densenet169",      occupancy_mib: 1631, load_secs: 2.56, infer_secs_b32: 1.30, family: Family::DenseNet },
-    ModelSpec { name: "densenet201",      occupancy_mib: 1665, load_secs: 2.67, infer_secs_b32: 1.40, family: Family::DenseNet },
-    ModelSpec { name: "resnet50",         occupancy_mib: 1701, load_secs: 2.67, infer_secs_b32: 1.28, family: Family::ResNet },
-    ModelSpec { name: "resnet101",        occupancy_mib: 1757, load_secs: 2.95, infer_secs_b32: 1.30, family: Family::ResNet },
-    ModelSpec { name: "resnet152",        occupancy_mib: 1827, load_secs: 3.10, infer_secs_b32: 1.31, family: Family::ResNet },
-    ModelSpec { name: "densenet161",      occupancy_mib: 1919, load_secs: 2.75, infer_secs_b32: 1.32, family: Family::DenseNet },
-    ModelSpec { name: "inception.v3",     occupancy_mib: 2157, load_secs: 4.42, infer_secs_b32: 1.63, family: Family::Inception },
-    ModelSpec { name: "resnext101.32x8d", occupancy_mib: 2191, load_secs: 3.51, infer_secs_b32: 1.33, family: Family::ResNeXt },
-    ModelSpec { name: "vgg11",            occupancy_mib: 2903, load_secs: 3.94, infer_secs_b32: 1.29, family: Family::Vgg },
-    ModelSpec { name: "wideresnet502",    occupancy_mib: 3611, load_secs: 3.16, infer_secs_b32: 1.31, family: Family::WideResNet },
-    ModelSpec { name: "wideresnet1012",   occupancy_mib: 3831, load_secs: 3.91, infer_secs_b32: 1.32, family: Family::WideResNet },
-    ModelSpec { name: "vgg13",            occupancy_mib: 3887, load_secs: 3.98, infer_secs_b32: 1.30, family: Family::Vgg },
-    ModelSpec { name: "vgg16",            occupancy_mib: 3907, load_secs: 4.04, infer_secs_b32: 1.27, family: Family::Vgg },
-    ModelSpec { name: "vgg16.bn",         occupancy_mib: 3907, load_secs: 4.03, infer_secs_b32: 1.26, family: Family::Vgg },
-    ModelSpec { name: "vgg19",            occupancy_mib: 3947, load_secs: 4.07, infer_secs_b32: 1.33, family: Family::Vgg },
+    ModelSpec {
+        name: "squeezenet1.1",
+        occupancy_mib: 1269,
+        load_secs: 2.41,
+        infer_secs_b32: 1.28,
+        family: Family::SqueezeNet,
+    },
+    ModelSpec {
+        name: "resnet18",
+        occupancy_mib: 1313,
+        load_secs: 2.52,
+        infer_secs_b32: 1.25,
+        family: Family::ResNet,
+    },
+    ModelSpec {
+        name: "resnet34",
+        occupancy_mib: 1357,
+        load_secs: 2.60,
+        infer_secs_b32: 1.25,
+        family: Family::ResNet,
+    },
+    ModelSpec {
+        name: "squeezenet1.0",
+        occupancy_mib: 1435,
+        load_secs: 2.32,
+        infer_secs_b32: 1.33,
+        family: Family::SqueezeNet,
+    },
+    ModelSpec {
+        name: "alexnet",
+        occupancy_mib: 1437,
+        load_secs: 2.81,
+        infer_secs_b32: 1.25,
+        family: Family::AlexNet,
+    },
+    ModelSpec {
+        name: "resnext50.32x4d",
+        occupancy_mib: 1555,
+        load_secs: 2.64,
+        infer_secs_b32: 1.29,
+        family: Family::ResNeXt,
+    },
+    ModelSpec {
+        name: "densenet121",
+        occupancy_mib: 1601,
+        load_secs: 2.49,
+        infer_secs_b32: 1.28,
+        family: Family::DenseNet,
+    },
+    ModelSpec {
+        name: "densenet169",
+        occupancy_mib: 1631,
+        load_secs: 2.56,
+        infer_secs_b32: 1.30,
+        family: Family::DenseNet,
+    },
+    ModelSpec {
+        name: "densenet201",
+        occupancy_mib: 1665,
+        load_secs: 2.67,
+        infer_secs_b32: 1.40,
+        family: Family::DenseNet,
+    },
+    ModelSpec {
+        name: "resnet50",
+        occupancy_mib: 1701,
+        load_secs: 2.67,
+        infer_secs_b32: 1.28,
+        family: Family::ResNet,
+    },
+    ModelSpec {
+        name: "resnet101",
+        occupancy_mib: 1757,
+        load_secs: 2.95,
+        infer_secs_b32: 1.30,
+        family: Family::ResNet,
+    },
+    ModelSpec {
+        name: "resnet152",
+        occupancy_mib: 1827,
+        load_secs: 3.10,
+        infer_secs_b32: 1.31,
+        family: Family::ResNet,
+    },
+    ModelSpec {
+        name: "densenet161",
+        occupancy_mib: 1919,
+        load_secs: 2.75,
+        infer_secs_b32: 1.32,
+        family: Family::DenseNet,
+    },
+    ModelSpec {
+        name: "inception.v3",
+        occupancy_mib: 2157,
+        load_secs: 4.42,
+        infer_secs_b32: 1.63,
+        family: Family::Inception,
+    },
+    ModelSpec {
+        name: "resnext101.32x8d",
+        occupancy_mib: 2191,
+        load_secs: 3.51,
+        infer_secs_b32: 1.33,
+        family: Family::ResNeXt,
+    },
+    ModelSpec {
+        name: "vgg11",
+        occupancy_mib: 2903,
+        load_secs: 3.94,
+        infer_secs_b32: 1.29,
+        family: Family::Vgg,
+    },
+    ModelSpec {
+        name: "wideresnet502",
+        occupancy_mib: 3611,
+        load_secs: 3.16,
+        infer_secs_b32: 1.31,
+        family: Family::WideResNet,
+    },
+    ModelSpec {
+        name: "wideresnet1012",
+        occupancy_mib: 3831,
+        load_secs: 3.91,
+        infer_secs_b32: 1.32,
+        family: Family::WideResNet,
+    },
+    ModelSpec {
+        name: "vgg13",
+        occupancy_mib: 3887,
+        load_secs: 3.98,
+        infer_secs_b32: 1.30,
+        family: Family::Vgg,
+    },
+    ModelSpec {
+        name: "vgg16",
+        occupancy_mib: 3907,
+        load_secs: 4.04,
+        infer_secs_b32: 1.27,
+        family: Family::Vgg,
+    },
+    ModelSpec {
+        name: "vgg16.bn",
+        occupancy_mib: 3907,
+        load_secs: 4.03,
+        infer_secs_b32: 1.26,
+        family: Family::Vgg,
+    },
+    ModelSpec {
+        name: "vgg19",
+        occupancy_mib: 3947,
+        load_secs: 4.07,
+        infer_secs_b32: 1.33,
+        family: Family::Vgg,
+    },
 ];
 
 /// The batch size Table I was profiled at.

@@ -374,7 +374,8 @@ mod tests {
         tw.set(SimTime::from_secs(0), 1.0);
         tw.set(SimTime::from_secs(10), 3.0); // value 1 for 10 s
         tw.set(SimTime::from_secs(20), 0.0); // value 3 for 10 s
-        // value 0 for final 20 s
+
+        // value 0 for the final 20 s
         let avg = tw.average_until(SimTime::from_secs(40));
         assert!((avg - (10.0 + 30.0) / 40.0).abs() < 1e-12);
     }

@@ -141,7 +141,10 @@ impl Network {
         padding: usize,
         groups: usize,
     ) -> Self {
-        assert!(cin % groups == 0 && cout % groups == 0, "channels must divide groups");
+        assert!(
+            cin.is_multiple_of(groups) && cout.is_multiple_of(groups),
+            "channels must divide groups"
+        );
         let fan_in = (cin / groups) * k * k;
         let weight = Tensor::rand_kaiming(&[cout, cin / groups, k, k], fan_in, rng);
         let bias = Tensor::zeros(&[cout]);

@@ -233,8 +233,7 @@ mod tests {
         ];
         for &(n, cin, h, w, cout, k, stride, padding) in &configs {
             let input = Tensor::from_fn(&[n, cin, h, w], |_| rng.range_f64(-1.0, 1.0) as f32);
-            let weight =
-                Tensor::from_fn(&[cout, cin, k, k], |_| rng.range_f64(-1.0, 1.0) as f32);
+            let weight = Tensor::from_fn(&[cout, cin, k, k], |_| rng.range_f64(-1.0, 1.0) as f32);
             let bias = Tensor::from_fn(&[cout], |_| rng.range_f64(-0.5, 0.5) as f32);
             let p = Conv2dParams { stride, padding };
             let fast = conv2d(&input, &weight, Some(&bias), p);

@@ -18,7 +18,10 @@ pub fn slice_channels(input: &Tensor, from: usize, to: usize) -> Tensor {
         input.shape()[2],
         input.shape()[3],
     );
-    assert!(from < to && to <= c, "bad channel range {from}..{to} of {c}");
+    assert!(
+        from < to && to <= c,
+        "bad channel range {from}..{to} of {c}"
+    );
     let plane = h * w;
     let out_c = to - from;
     let mut out = Tensor::zeros(&[n, out_c, h, w]);
@@ -60,8 +63,7 @@ pub fn concat_channels(parts: &[Tensor]) -> Tensor {
             let pc = p.shape()[1];
             let src = ni * pc * plane;
             let dst = (ni * total_c + c_off) * plane;
-            out.data_mut()[dst..dst + pc * plane]
-                .copy_from_slice(&p.data()[src..src + pc * plane]);
+            out.data_mut()[dst..dst + pc * plane].copy_from_slice(&p.data()[src..src + pc * plane]);
             c_off += pc;
         }
     }
@@ -84,8 +86,16 @@ pub fn conv2d_grouped(
     }
     let cin = input.shape()[1];
     let cout = weight.shape()[0];
-    assert_eq!(cin % groups, 0, "cin {cin} not divisible by {groups} groups");
-    assert_eq!(cout % groups, 0, "cout {cout} not divisible by {groups} groups");
+    assert_eq!(
+        cin % groups,
+        0,
+        "cin {cin} not divisible by {groups} groups"
+    );
+    assert_eq!(
+        cout % groups,
+        0,
+        "cout {cout} not divisible by {groups} groups"
+    );
     assert_eq!(
         weight.shape()[1],
         cin / groups,

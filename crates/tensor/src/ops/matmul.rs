@@ -74,10 +74,7 @@ mod tests {
             let b = Tensor::from_fn(&[k, n], |_| rng.range_f64(-1.0, 1.0) as f32);
             let fast = matmul(&a, &b);
             let slow = matmul_naive(&a, &b);
-            assert!(
-                fast.max_abs_diff(&slow) < 1e-4,
-                "diverged at ({m},{k},{n})"
-            );
+            assert!(fast.max_abs_diff(&slow) < 1e-4, "diverged at ({m},{k},{n})");
         }
     }
 

@@ -4,7 +4,10 @@ use crate::tensor::Tensor;
 
 fn pooled_hw(h: usize, w: usize, k: usize, stride: usize) -> (usize, usize) {
     assert!(k > 0 && stride > 0, "kernel and stride must be positive");
-    assert!(h >= k && w >= k, "pool kernel {k} larger than input {h}x{w}");
+    assert!(
+        h >= k && w >= k,
+        "pool kernel {k} larger than input {h}x{w}"
+    );
     ((h - k) / stride + 1, (w - k) / stride + 1)
 }
 

@@ -102,7 +102,7 @@ impl AzureTraceConfig {
     pub fn model_of(&self, function: u32) -> u32 {
         let n = self.num_models as u32;
         let slot = function % n;
-        if slot % 2 == 0 {
+        if slot.is_multiple_of(2) {
             slot / 2 // 0, 1, 2, … from the small end
         } else {
             n - 1 - slot / 2 // n-1, n-2, … from the large end
@@ -113,8 +113,7 @@ impl AzureTraceConfig {
     pub fn generate(&self) -> Trace {
         let weights = self.working_set_weights();
         let mut rng = DetRng::new(self.seed);
-        let mut requests =
-            Vec::with_capacity(self.requests_per_min * self.minutes);
+        let mut requests = Vec::with_capacity(self.requests_per_min * self.minutes);
         for minute in 0..self.minutes {
             let minute_weights = if self.burstiness > 0.0 {
                 // Modulate each function's demand for this minute, then
@@ -245,15 +244,19 @@ mod tests {
 
     #[test]
     fn burstiness_modulates_minutes_but_preserves_skew() {
-        let t = AzureTraceConfig::paper(35, 3).generate(); // default burstiness
-        // Per-minute counts of rank 0 should vary across minutes.
+        // Default burstiness. Per-minute counts of rank 0 should vary
+        // across minutes.
+        let t = AzureTraceConfig::paper(35, 3).generate();
         let mut per_min = [0usize; 6];
         for r in t.requests().iter().filter(|r| r.function == 0) {
             per_min[(r.at.as_secs_f64() / 60.0) as usize] += 1;
         }
         let min = per_min.iter().min().unwrap();
         let max = per_min.iter().max().unwrap();
-        assert!(max > min, "burstiness must vary per-minute demand: {per_min:?}");
+        assert!(
+            max > min,
+            "burstiness must vary per-minute demand: {per_min:?}"
+        );
         // Aggregate skew survives: the top-3 ranks dominate the tail-3.
         let counts = t.function_counts();
         let head: usize = (0..3u32).map(|r| counts[&r]).sum();
@@ -265,7 +268,7 @@ mod tests {
     fn model_mapping_spreads_sizes() {
         let cfg = AzureTraceConfig::paper(35, 1);
         // 35 functions over 22 models: models 0..12 are used twice.
-        let mut used = vec![0; 22];
+        let mut used = [0; 22];
         for f in 0..35u32 {
             used[cfg.model_of(f) as usize] += 1;
         }
@@ -310,8 +313,9 @@ mod tests {
         // Sanity link between the shared Zipf sampler and our weights.
         let z = Zipf::new(15, AZURE_ZIPF_ALPHA);
         let w = AzureTraceConfig::paper(15, 0).working_set_weights();
-        for k in 0..15 {
-            assert!((z.pmf(k) - w[k]).abs() < 1e-9);
+        assert_eq!(w.len(), 15);
+        for (k, wk) in w.iter().enumerate() {
+            assert!((z.pmf(k) - wk).abs() < 1e-9);
         }
     }
 }

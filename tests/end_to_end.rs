@@ -74,8 +74,7 @@ fn watch_observes_gpu_status_transitions() {
     let watcher = ds.watch("/gpu/");
     let mut cfg = ClusterConfig::paper_testbed(Policy::lalb());
     cfg.report_to_datastore = true;
-    let mut cluster =
-        Cluster::new(cfg, ModelRegistry::table1()).with_datastore(Arc::clone(&ds));
+    let mut cluster = Cluster::new(cfg, ModelRegistry::table1()).with_datastore(Arc::clone(&ds));
     cluster.run(&AzureTraceConfig::paper(15, 5).generate());
     let events = watcher.drain();
     assert!(!events.is_empty());

@@ -26,9 +26,11 @@ impl CpuRunner for Upper {
 #[test]
 fn cpu_function_lifecycle_with_metrics() {
     let ds = Arc::new(Datastore::new());
-    let mut gateway = Gateway::new(Arc::clone(&ds));
+    let gateway = Gateway::new(Arc::clone(&ds));
     let watchdog = Watchdog::new(Arc::clone(&ds));
-    gateway.register(FunctionSpec::cpu("shout", "alpine")).unwrap();
+    gateway
+        .register(FunctionSpec::cpu("shout", "alpine"))
+        .unwrap();
 
     // Invoke through the gateway; then report via the watchdog, as the
     // container would.

@@ -70,7 +70,11 @@ fn lb_has_the_worst_false_miss_ratio() {
         let lb = run_on_trace(Policy::lb(), &trace);
         let lalb = run_on_trace(Policy::lalb(), &trace);
         let o3 = run_on_trace(Policy::lalbo3(), &trace);
-        assert!(lb.false_miss_ratio > 0.6, "LB false-miss {:.3}", lb.false_miss_ratio);
+        assert!(
+            lb.false_miss_ratio > 0.6,
+            "LB false-miss {:.3}",
+            lb.false_miss_ratio
+        );
         assert!(lalb.false_miss_ratio < lb.false_miss_ratio, "ws{ws}");
         assert!(o3.false_miss_ratio < lb.false_miss_ratio, "ws{ws}");
     }
@@ -102,7 +106,10 @@ fn o3_limit_sweep_is_beneficial_and_saturates() {
     let l25 = at(25);
     let l45 = at(45);
     assert!(l25.avg_latency_secs < l0.avg_latency_secs);
-    assert!(l45.avg_latency_secs <= l25.avg_latency_secs * 1.1, "saturation");
+    assert!(
+        l45.avg_latency_secs <= l25.avg_latency_secs * 1.1,
+        "saturation"
+    );
     assert!(l45.latency_variance < l0.latency_variance * 0.5);
 }
 

@@ -1,0 +1,240 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API surface the gfaas benches use — `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — over a simple
+//! calibrated wall-clock loop. It reports mean ns/iteration per benchmark;
+//! there is no statistical analysis, plotting, or baseline comparison.
+//!
+//! Like the real crate with `harness = false`, the generated `main`
+//! understands being launched by `cargo test` (any `--test`-ish argument):
+//! it then runs each routine once, as a smoke test, instead of measuring.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long the measurement loop for one benchmark aims to run.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(300);
+
+/// The benchmark manager: registered routines run as they are declared.
+pub struct Criterion {
+    smoke_only: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes "--bench"; `cargo test` passes "--test"
+        // (plus possible filters). In test mode we only smoke-run.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Self {
+            smoke_only,
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.smoke_only, self.default_sample_size, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count. The measurement budget scales
+    /// linearly with it relative to the default of 100, so e.g.
+    /// `sample_size(10)` spends a tenth of the default wall-clock on
+    /// each benchmark — the same lever the real crate offers for
+    /// heavyweight routines.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_one(&full, self.criterion.smoke_only, samples, &mut |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a routine with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_one(&full, self.criterion.smoke_only, samples, &mut routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Passed to each routine; [`Bencher::iter`] runs the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times, timing the whole batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, smoke_only: bool, samples: usize, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // One warm-up/smoke iteration.
+    routine(&mut b);
+    if smoke_only {
+        println!("{id}: ok (smoke)");
+        return;
+    }
+    // Calibrate the batch size so measurement takes ~TARGET_MEASURE_TIME,
+    // scaled by the group's sample_size relative to the default of 100.
+    let target = TARGET_MEASURE_TIME.mul_f64((samples.max(1) as f64 / 100.0).min(10.0));
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    b.iters = iters;
+    routine(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    println!("{id}: {:>12.1} ns/iter ({} iters)", ns, iters);
+}
+
+/// Declares a function that runs the listed benchmark targets, mirroring
+/// criterion's macro of the same name (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            smoke_only: true,
+            default_sample_size: 10,
+        };
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("ws", 15);
+        assert_eq!(id.label, "ws/15");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}
