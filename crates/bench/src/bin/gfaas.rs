@@ -80,8 +80,8 @@ fn print_metrics(name: &str, m: &RunMetrics) {
     println!("  completed         {}", m.completed);
     println!("  avg latency       {:.3} s", m.avg_latency_secs);
     println!(
-        "  p50 / p99 latency {:.3} / {:.3} s",
-        m.p50_latency_secs, m.p99_latency_secs
+        "  p50 / p95 / p99 latency {:.3} / {:.3} / {:.3} s",
+        m.p50_latency_secs, m.p95_latency_secs, m.p99_latency_secs
     );
     println!("  latency variance  {:.3}", m.latency_variance);
     println!("  max latency       {:.3} s", m.max_latency_secs);

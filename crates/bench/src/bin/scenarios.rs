@@ -1,0 +1,149 @@
+//! The policy × scenario matrix: every scheduler against every workload
+//! in the `gfaas-workload` registry.
+//!
+//! ```text
+//! cargo run --release -p gfaas-bench --bin scenarios            # paper scale, 3 seeds
+//! cargo run --release -p gfaas-bench --bin scenarios -- --smoke # CI: 1 seed, 1 minute
+//! cargo run --release -p gfaas-bench --bin scenarios -- --scale production
+//! cargo run --release -p gfaas-bench --bin scenarios -- --seeds 1,2,3
+//! ```
+//!
+//! The `paper` rows at paper scale reproduce `fig4_comparison`'s WS 25
+//! numbers exactly (same traces, same seeds, same cluster).
+
+use gfaas_bench::{ScenarioSuite, TablePrinter};
+use gfaas_workload::Scale;
+
+fn usage() -> ! {
+    eprintln!("usage: scenarios [--smoke] [--scale paper|production] [--seeds a,b,c]");
+    std::process::exit(2);
+}
+
+fn parse_suite(args: &[String]) -> ScenarioSuite {
+    // Collect flags first, then build, so flag order never matters
+    // (`--seeds 5 --smoke` and `--smoke --seeds 5` both honour seed 5).
+    let mut smoke = false;
+    let mut scale: Option<Scale> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("paper") => Some(Scale::paper()),
+                    Some("production") => Some(Scale::production()),
+                    other => {
+                        eprintln!("bad --scale {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--seeds" => {
+                let Some(list) = it.next() else { usage() };
+                seeds = Some(
+                    list.split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("bad seed {s:?}");
+                                usage();
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    let mut suite = if smoke {
+        ScenarioSuite::smoke()
+    } else {
+        ScenarioSuite::paper_default()
+    };
+    if let Some(scale) = scale {
+        suite.scale = scale;
+    }
+    if let Some(seeds) = seeds {
+        suite.seeds = seeds;
+    }
+    suite
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite = parse_suite(&args);
+    let scale = suite.scale;
+    println!(
+        "Scenario suite — {} scale ({} req/min x {} min, WS {}), {} seed(s)\n",
+        scale.name,
+        scale.requests_per_min,
+        scale.minutes,
+        scale.working_set,
+        suite.seeds.len()
+    );
+
+    let report = suite.run();
+
+    // Workload shapes first, so the matrix below has context.
+    let shape = TablePrinter::new(&[12, 9, 6, 8, 10, 10]);
+    println!(
+        "{}",
+        shape.header(&["scenario", "requests", "fns", "top15", "req/min", "minuteCV"])
+    );
+    for (name, s) in report.scenario_stats {
+        println!(
+            "{}",
+            shape.row(&[
+                name.to_string(),
+                s.total.to_string(),
+                s.working_set.to_string(),
+                format!("{:.3}", s.top15_share),
+                format!("{:.0}", s.rate_per_min),
+                format!("{:.3}", s.minute_cv),
+            ])
+        );
+    }
+    println!();
+
+    let t = TablePrinter::new(&[12, 8, 11, 11, 11, 11, 10, 11, 9]);
+    println!(
+        "{}",
+        t.header(&[
+            "scenario",
+            "policy",
+            "avg_lat(s)",
+            "p50(s)",
+            "p95(s)",
+            "p99(s)",
+            "miss",
+            "false_miss",
+            "sm_util",
+        ])
+    );
+    let mut last = "";
+    for cell in report.cells {
+        if !last.is_empty() && last != cell.scenario {
+            println!();
+        }
+        last = cell.scenario;
+        let m = &cell.metrics;
+        println!(
+            "{}",
+            t.row(&[
+                cell.scenario.to_string(),
+                cell.policy.name(),
+                format!("{:.2}", m.avg_latency_secs),
+                format!("{:.2}", m.p50_latency_secs),
+                format!("{:.2}", m.p95_latency_secs),
+                format!("{:.2}", m.p99_latency_secs),
+                format!("{:.3}", m.miss_ratio),
+                format!("{:.3}", m.false_miss_ratio),
+                format!("{:.3}", m.sm_utilization),
+            ])
+        );
+    }
+
+    if scale == Scale::paper() && suite.seeds == gfaas_bench::REPORT_SEEDS {
+        println!("\nNote: the `paper` rows reproduce fig4_comparison's WS 25 numbers exactly.");
+    }
+}

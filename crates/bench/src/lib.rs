@@ -11,6 +11,7 @@
 //! | `fig7_o3_sensitivity` | Fig 7 (O3 limit sweep) |
 //! | `ablation_replacement` | §VI replacement-policy discussion |
 //! | `ablation_estimation` | finish-time-estimation ablation |
+//! | `scenarios` | policy × scenario matrix over the `gfaas-workload` registry |
 //!
 //! Criterion benches (`cargo bench`) measure the *implementation's* costs:
 //! scheduler decision throughput, cache-manager ops, the tensor kernels,
@@ -21,7 +22,8 @@
 
 use gfaas_core::{Cluster, ClusterConfig, Policy, RunMetrics};
 use gfaas_models::ModelRegistry;
-use gfaas_trace::{AzureTraceConfig, Trace};
+use gfaas_trace::{AzureTraceConfig, Trace, TraceStats};
+use gfaas_workload::{registry, Scale, Scenario};
 
 /// The working-set sizes the paper sweeps in Figs 4–6.
 pub const WORKING_SETS: [usize; 3] = [15, 25, 35];
@@ -71,6 +73,12 @@ pub const REPORT_SEEDS: [u64; 3] = [11, 23, 47];
 pub struct AveragedMetrics {
     /// Mean of per-run average latencies (seconds).
     pub avg_latency_secs: f64,
+    /// Mean of per-run median latencies (seconds).
+    pub p50_latency_secs: f64,
+    /// Mean of per-run 95th-percentile latencies (seconds).
+    pub p95_latency_secs: f64,
+    /// Mean of per-run 99th-percentile latencies (seconds).
+    pub p99_latency_secs: f64,
     /// Mean of per-run latency variances.
     pub latency_variance: f64,
     /// Mean miss ratio.
@@ -94,6 +102,9 @@ impl AveragedMetrics {
         let sum = |f: fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
         AveragedMetrics {
             avg_latency_secs: sum(|r| r.avg_latency_secs),
+            p50_latency_secs: sum(|r| r.p50_latency_secs),
+            p95_latency_secs: sum(|r| r.p95_latency_secs),
+            p99_latency_secs: sum(|r| r.p99_latency_secs),
             latency_variance: sum(|r| r.latency_variance),
             miss_ratio: sum(|r| r.miss_ratio),
             false_miss_ratio: sum(|r| r.false_miss_ratio),
@@ -101,6 +112,99 @@ impl AveragedMetrics {
             avg_duplicates: sum(|r| r.avg_duplicates),
             makespan_secs: sum(|r| r.makespan_secs),
             runs: runs.len(),
+        }
+    }
+}
+
+/// A policy × scenario sweep: every registered scenario's trace is
+/// generated once per seed, every policy runs on the identical traces,
+/// and each cell reports seed-averaged metrics. The whole sweep is a pure
+/// function of (scale, seeds).
+#[derive(Debug, Clone)]
+pub struct ScenarioSuite {
+    /// Workload volume (paper / production / smoke).
+    pub scale: Scale,
+    /// Scenarios to sweep (defaults to the full registry).
+    pub scenarios: Vec<Scenario>,
+    /// Policies to compare (defaults to the paper's three).
+    pub policies: Vec<Policy>,
+    /// Trace realisations to average over.
+    pub seeds: Vec<u64>,
+}
+
+/// One cell of the policy × scenario matrix.
+#[derive(Debug, Clone)]
+pub struct SuiteCell {
+    /// Scenario registry name.
+    pub scenario: &'static str,
+    /// The policy this cell ran.
+    pub policy: Policy,
+    /// Seed-averaged metrics.
+    pub metrics: AveragedMetrics,
+}
+
+/// The output of one suite sweep: per-scenario workload shapes plus the
+/// full policy × scenario matrix.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Workload shape of each scenario's first-seed realisation, in
+    /// registry order.
+    pub scenario_stats: Vec<(&'static str, TraceStats)>,
+    /// Matrix cells, scenario-major in registry order, policies in the
+    /// order configured.
+    pub cells: Vec<SuiteCell>,
+}
+
+impl ScenarioSuite {
+    /// The full registry × paper policies at the given scale and seeds.
+    pub fn new(scale: Scale, seeds: Vec<u64>) -> Self {
+        ScenarioSuite {
+            scale,
+            scenarios: registry(),
+            policies: paper_policies().to_vec(),
+            seeds,
+        }
+    }
+
+    /// The default suite: paper scale, the report binaries' seed set — the
+    /// configuration whose `paper` rows match `fig4_comparison` (WS 25).
+    pub fn paper_default() -> Self {
+        ScenarioSuite::new(Scale::paper(), REPORT_SEEDS.to_vec())
+    }
+
+    /// CI configuration: one seed, the shortest horizon.
+    pub fn smoke() -> Self {
+        ScenarioSuite::new(Scale::smoke(), vec![REPORT_SEEDS[0]])
+    }
+
+    /// Runs the sweep. Each scenario's traces are generated once per seed
+    /// and shared by every policy cell and the report's shape table, so
+    /// all cells of a row see identical workloads.
+    pub fn run(&self) -> SuiteReport {
+        let mut scenario_stats = Vec::with_capacity(self.scenarios.len());
+        let mut cells = Vec::with_capacity(self.scenarios.len() * self.policies.len());
+        for sc in &self.scenarios {
+            let traces: Vec<Trace> = self
+                .seeds
+                .iter()
+                .map(|&s| sc.trace(&self.scale, s))
+                .collect();
+            if let Some(first) = traces.first() {
+                scenario_stats.push((sc.name, first.stats()));
+            }
+            for &policy in &self.policies {
+                let runs: Vec<RunMetrics> =
+                    traces.iter().map(|t| run_on_trace(policy, t)).collect();
+                cells.push(SuiteCell {
+                    scenario: sc.name,
+                    policy,
+                    metrics: AveragedMetrics::from_runs(&runs),
+                });
+            }
+        }
+        SuiteReport {
+            scenario_stats,
+            cells,
         }
     }
 }
@@ -163,6 +267,40 @@ mod tests {
         let avg = AveragedMetrics::from_runs(&[a.clone(), b]);
         assert_eq!(avg.runs, 2);
         assert!((avg.avg_latency_secs - a.avg_latency_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_paper_rows_match_fig4_pipeline() {
+        // The acceptance bar for the scenario runner: its `paper` cells
+        // must reproduce the numbers the existing fig4 pipeline prints
+        // for WS 25 — same traces, same cluster, bit-equal metrics.
+        let mut suite = ScenarioSuite::paper_default();
+        suite.scenarios.retain(|s| s.name == "paper");
+        suite.policies = vec![Policy::lalb()];
+        let report = suite.run();
+        assert_eq!(report.cells.len(), 1);
+        let via_fig4 = run_replicated(Policy::lalb(), 25, &REPORT_SEEDS);
+        assert_eq!(report.cells[0].metrics, via_fig4);
+    }
+
+    #[test]
+    fn smoke_suite_is_deterministic_and_full() {
+        let suite = ScenarioSuite::smoke();
+        let a = suite.run();
+        let b = suite.run();
+        assert_eq!(a.cells.len(), 6 * 3, "6 scenarios x 3 policies");
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.policy, y.policy);
+            assert_eq!(x.metrics, y.metrics);
+            assert!(x.metrics.avg_latency_secs > 0.0, "{}", x.scenario);
+        }
+        assert_eq!(a.scenario_stats.len(), 6);
+        // The shape table reports the same trace the cells ran.
+        assert!(a
+            .scenario_stats
+            .iter()
+            .all(|(_, s)| s.total > 0 && s.minute_cv >= 0.0));
     }
 
     #[test]

@@ -83,9 +83,11 @@ impl MetricsCollector {
     pub fn finish(mut self, end: SimTime, sm_utilization: f64) -> RunMetrics {
         let misses = self.hits.misses();
         let p50 = self.latency_hist.quantile(0.5).unwrap_or(0.0);
+        let p95 = self.latency_hist.quantile(0.95).unwrap_or(0.0);
         let p99 = self.latency_hist.quantile(0.99).unwrap_or(0.0);
         RunMetrics {
             p50_latency_secs: p50,
+            p95_latency_secs: p95,
             p99_latency_secs: p99,
             completed: self.completed,
             avg_latency_secs: self.latency.mean(),
@@ -119,6 +121,8 @@ pub struct RunMetrics {
     pub latency_variance: f64,
     /// Median end-to-end latency in seconds.
     pub p50_latency_secs: f64,
+    /// 95th-percentile end-to-end latency in seconds.
+    pub p95_latency_secs: f64,
     /// 99th-percentile end-to-end latency in seconds.
     pub p99_latency_secs: f64,
     /// Worst latency observed.
@@ -172,6 +176,7 @@ mod tests {
         let m = c.finish(SimTime::from_secs(100), 0.5);
         assert_eq!(m.completed, 2);
         assert_eq!(m.p50_latency_secs, 2.0);
+        assert_eq!(m.p95_latency_secs, 4.0);
         assert_eq!(m.p99_latency_secs, 4.0);
         assert!((m.avg_latency_secs - 3.0).abs() < 1e-12);
         assert!((m.latency_variance - 1.0).abs() < 1e-12);

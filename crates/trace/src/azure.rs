@@ -100,13 +100,7 @@ impl AzureTraceConfig {
     /// (smallest, largest, 2nd smallest, 2nd largest, …) so that every
     /// working-set prefix spans the full size spectrum.
     pub fn model_of(&self, function: u32) -> u32 {
-        let n = self.num_models as u32;
-        let slot = function % n;
-        if slot.is_multiple_of(2) {
-            slot / 2 // 0, 1, 2, … from the small end
-        } else {
-            n - 1 - slot / 2 // n-1, n-2, … from the large end
-        }
+        interleaved_model_of(function, self.num_models as u32)
     }
 
     /// Generates the trace.
@@ -157,6 +151,21 @@ impl AzureTraceConfig {
             }
         }
         head / total
+    }
+}
+
+/// The size-interleaved function-rank → model mapping shared by every
+/// workload generator (see [`AzureTraceConfig::model_of`]): slots
+/// alternate between the small end and the large end of the size-ordered
+/// model list, so any popularity prefix spans the full size spectrum.
+/// `num_models` must be nonzero.
+pub fn interleaved_model_of(function: u32, num_models: u32) -> u32 {
+    assert!(num_models > 0, "need at least one model");
+    let slot = function % num_models;
+    if slot.is_multiple_of(2) {
+        slot / 2 // 0, 1, 2, … from the small end
+    } else {
+        num_models - 1 - slot / 2 // n-1, n-2, … from the large end
     }
 }
 

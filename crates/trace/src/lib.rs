@@ -24,5 +24,5 @@
 pub mod azure;
 pub mod trace;
 
-pub use azure::AzureTraceConfig;
+pub use azure::{interleaved_model_of, AzureTraceConfig};
 pub use trace::{Trace, TraceRequest, TraceStats};

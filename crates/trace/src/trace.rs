@@ -37,6 +37,14 @@ pub struct TraceStats {
     pub span_secs: f64,
     /// Invocations per minute, averaged over the span.
     pub rate_per_min: f64,
+    /// Burstiness: coefficient of variation (population std dev / mean) of
+    /// the per-minute request counts. 0 for a perfectly steady trace (the
+    /// paper's normalised 325/min gives ≈0); a homogeneous Poisson process
+    /// at rate λ/min gives ≈ 1/√λ; on-off and diurnal arrivals push it
+    /// well above that. Like [`Trace::minute_counts`], the window ends at
+    /// the last arrival — a trace alone does not know its intended
+    /// horizon, so trailing idle minutes are not observed.
+    pub minute_cv: f64,
 }
 
 impl Trace {
@@ -97,6 +105,13 @@ impl Trace {
         counts
     }
 
+    /// True iff arrival times are nondecreasing — the invariant
+    /// [`Trace::new`] establishes and `Cluster::run` depends on. Useful
+    /// for validating externally produced or hand-assembled traces.
+    pub fn is_sorted_by_arrival(&self) -> bool {
+        self.requests.windows(2).all(|w| w[0].at <= w[1].at)
+    }
+
     /// Computes the summary statistics.
     pub fn stats(&self) -> TraceStats {
         let total = self.requests.len();
@@ -114,6 +129,24 @@ impl Trace {
             (Some(f), Some(l)) => l.at.duration_since(f.at).as_secs_f64(),
             _ => 0.0,
         };
+        let minute_cv = {
+            let per_min = self.minute_counts();
+            let n = per_min.len() as f64;
+            let mean = per_min.iter().sum::<usize>() as f64 / n.max(1.0);
+            if per_min.is_empty() || mean == 0.0 {
+                0.0
+            } else {
+                let var = per_min
+                    .iter()
+                    .map(|&c| {
+                        let d = c as f64 - mean;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / n;
+                var.sqrt() / mean
+            }
+        };
         TraceStats {
             total,
             working_set: counts.len(),
@@ -129,6 +162,7 @@ impl Trace {
             } else {
                 total as f64
             },
+            minute_cv,
         }
     }
 
@@ -272,5 +306,33 @@ mod tests {
         assert_eq!(s.total, 0);
         assert_eq!(s.top15_share, 0.0);
         assert_eq!(s.working_set, 0);
+        assert_eq!(s.minute_cv, 0.0);
+    }
+
+    #[test]
+    fn minute_cv_zero_when_steady_positive_when_bursty() {
+        // 3 requests in each of 3 minutes → CV 0.
+        let steady = Trace::new(
+            (0..9)
+                .map(|i| req(20.0 * i as f64, i as u32, 0))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(steady.minute_counts(), vec![3, 3, 3]);
+        assert_eq!(steady.stats().minute_cv, 0.0);
+
+        // Counts [8, 0, 1]: mean 3, std √(38/3) → CV ≈ 1.185.
+        let mut reqs: Vec<TraceRequest> = (0..8).map(|i| req(i as f64, i, 0)).collect();
+        reqs.push(req(130.0, 9, 0));
+        let bursty = Trace::new(reqs);
+        assert_eq!(bursty.minute_counts(), vec![8, 0, 1]);
+        let cv = bursty.stats().minute_cv;
+        assert!((cv - (38.0f64 / 3.0).sqrt() / 3.0).abs() < 1e-12, "cv {cv}");
+    }
+
+    #[test]
+    fn sortedness_helper() {
+        assert!(Trace::default().is_sorted_by_arrival());
+        let t = Trace::new(vec![req(5.0, 0, 0), req(1.0, 1, 1)]);
+        assert!(t.is_sorted_by_arrival());
     }
 }

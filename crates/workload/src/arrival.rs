@@ -1,0 +1,336 @@
+//! Arrival processes: *when* requests hit the cluster.
+//!
+//! Each process turns a horizon plus a seeded RNG into a list of arrival
+//! instants; it knows nothing about which function arrives (that is the
+//! popularity model's job). All processes are seed-deterministic and
+//! quote their load as requests **per minute** to match the paper's
+//! normalised 325/min.
+
+use gfaas_sim::rng::DetRng;
+use gfaas_sim::time::{SimTime, TICKS_PER_SEC};
+
+/// Seconds → [`SimTime`], truncating toward zero. `SimTime::from_secs_f64`
+/// rounds to the *nearest* microsecond tick, which would let a draw in
+/// `[59.9999995, 60.0)` land on the 60 s tick — outside the half-open
+/// window the arrival processes promise (and, for [`Arrival::Replay`],
+/// in the wrong minute bucket). Flooring keeps every instant strictly
+/// below its exclusive bound, since all bounds here are whole seconds.
+fn tick_floor(secs: f64) -> SimTime {
+    SimTime::from_micros((secs * TICKS_PER_SEC as f64) as u64)
+}
+
+/// A point process over the trace horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrival {
+    /// Homogeneous Poisson arrivals: exponential inter-arrival gaps at a
+    /// constant rate. The natural "steady but noisy" load; its per-minute
+    /// coefficient of variation is ≈ 1/√rate.
+    Poisson {
+        /// Mean arrival rate, requests per minute.
+        rate_per_min: f64,
+    },
+    /// A two-state Markov-modulated Poisson process (on-off bursts): the
+    /// process alternates between a quiet *base* state and a *burst*
+    /// state, with exponentially distributed dwell times. Models the
+    /// timer- and event-driven burstiness Shahrad et al. report in the
+    /// real Azure trace.
+    OnOff {
+        /// Arrival rate in the quiet state, requests per minute.
+        base_rate_per_min: f64,
+        /// Arrival rate while bursting, requests per minute.
+        burst_rate_per_min: f64,
+        /// Mean dwell time in the quiet state, seconds.
+        mean_base_secs: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_secs: f64,
+    },
+    /// A nonhomogeneous Poisson process whose rate follows one sinusoid:
+    /// `rate(t) = mean · (1 + amplitude · sin(2πt/period))`. One period
+    /// spanning the horizon compresses a day's diurnal swing into the
+    /// trace. Sampled by Lewis–Shedler thinning.
+    Diurnal {
+        /// Mean arrival rate, requests per minute.
+        mean_rate_per_min: f64,
+        /// Relative swing around the mean, in `[0, 1]`.
+        relative_amplitude: f64,
+        /// Sinusoid period, seconds.
+        period_secs: f64,
+    },
+    /// Replay of per-minute totals: minute *m* receives exactly
+    /// `per_minute[m]` requests placed uniformly at random within the
+    /// minute — the arrival shape of the paper's normalised trace, usable
+    /// with real per-minute counts extracted from the Azure dataset.
+    Replay {
+        /// Request count for each minute of the horizon.
+        per_minute: Vec<usize>,
+    },
+}
+
+impl Arrival {
+    /// The process's long-run mean load, requests per minute. For
+    /// [`Arrival::Replay`] this is the mean of the given counts.
+    pub fn mean_rate_per_min(&self) -> f64 {
+        match self {
+            Arrival::Poisson { rate_per_min } => *rate_per_min,
+            Arrival::OnOff {
+                base_rate_per_min,
+                burst_rate_per_min,
+                mean_base_secs,
+                mean_burst_secs,
+            } => {
+                let total = mean_base_secs + mean_burst_secs;
+                (base_rate_per_min * mean_base_secs + burst_rate_per_min * mean_burst_secs) / total
+            }
+            Arrival::Diurnal {
+                mean_rate_per_min, ..
+            } => *mean_rate_per_min,
+            Arrival::Replay { per_minute } => {
+                let n = per_minute.len().max(1) as f64;
+                per_minute.iter().sum::<usize>() as f64 / n
+            }
+        }
+    }
+
+    /// Samples the arrival instants over `[0, horizon_secs)`, in
+    /// nondecreasing order. Deterministic in `rng`'s seed.
+    pub fn sample(&self, horizon_secs: f64, rng: &mut DetRng) -> Vec<SimTime> {
+        assert!(horizon_secs > 0.0, "horizon must be positive");
+        let mut out = Vec::new();
+        match self {
+            Arrival::Poisson { rate_per_min } => {
+                assert!(*rate_per_min > 0.0, "Poisson rate must be positive");
+                let rate = rate_per_min / 60.0;
+                let mut t = rng.exponential(rate);
+                while t < horizon_secs {
+                    out.push(tick_floor(t));
+                    t += rng.exponential(rate);
+                }
+            }
+            Arrival::OnOff {
+                base_rate_per_min,
+                burst_rate_per_min,
+                mean_base_secs,
+                mean_burst_secs,
+            } => {
+                assert!(
+                    *base_rate_per_min >= 0.0 && *burst_rate_per_min > 0.0,
+                    "on-off rates must be nonnegative (burst positive)"
+                );
+                assert!(
+                    *mean_base_secs > 0.0 && *mean_burst_secs > 0.0,
+                    "dwell times must be positive"
+                );
+                let mut t = 0.0;
+                let mut bursting = false;
+                while t < horizon_secs {
+                    let (rate_min, dwell_mean) = if bursting {
+                        (*burst_rate_per_min, *mean_burst_secs)
+                    } else {
+                        (*base_rate_per_min, *mean_base_secs)
+                    };
+                    let dwell = rng.exponential(1.0 / dwell_mean);
+                    let end = (t + dwell).min(horizon_secs);
+                    let rate = rate_min / 60.0;
+                    if rate > 0.0 {
+                        let mut a = t + rng.exponential(rate);
+                        while a < end {
+                            out.push(tick_floor(a));
+                            a += rng.exponential(rate);
+                        }
+                    }
+                    t += dwell;
+                    bursting = !bursting;
+                }
+            }
+            Arrival::Diurnal {
+                mean_rate_per_min,
+                relative_amplitude,
+                period_secs,
+            } => {
+                assert!(*mean_rate_per_min > 0.0, "mean rate must be positive");
+                assert!(
+                    (0.0..=1.0).contains(relative_amplitude),
+                    "amplitude must be in [0, 1]"
+                );
+                assert!(*period_secs > 0.0, "period must be positive");
+                let mean = mean_rate_per_min / 60.0;
+                let max_rate = mean * (1.0 + relative_amplitude);
+                let mut t = 0.0;
+                loop {
+                    t += rng.exponential(max_rate);
+                    if t >= horizon_secs {
+                        break;
+                    }
+                    let rate = mean
+                        * (1.0
+                            + relative_amplitude * (std::f64::consts::TAU * t / period_secs).sin());
+                    if rng.next_f64() * max_rate < rate {
+                        out.push(tick_floor(t));
+                    }
+                }
+            }
+            Arrival::Replay { per_minute } => {
+                assert!(
+                    per_minute.len() as f64 * 60.0 <= horizon_secs + 1e-9,
+                    "replay counts exceed the horizon"
+                );
+                for (minute, &count) in per_minute.iter().enumerate() {
+                    let start = 60.0 * minute as f64;
+                    for _ in 0..count {
+                        out.push(tick_floor(start + rng.range_f64(0.0, 60.0)));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfaas_trace::{Trace, TraceRequest};
+
+    /// Wraps arrival instants into a single-function trace so
+    /// `TraceStats::minute_cv` can score the process's burstiness.
+    fn trace_of(arrival: &Arrival, horizon: f64, seed: u64) -> Trace {
+        let mut rng = DetRng::new(seed);
+        let reqs = arrival
+            .sample(horizon, &mut rng)
+            .into_iter()
+            .map(|at| TraceRequest {
+                at,
+                function: 0,
+                model: 0,
+            })
+            .collect();
+        Trace::new(reqs)
+    }
+
+    #[test]
+    fn poisson_hits_target_rate() {
+        let a = Arrival::Poisson {
+            rate_per_min: 300.0,
+        };
+        let t = trace_of(&a, 600.0, 1);
+        let rate = t.len() as f64 / 10.0;
+        assert!((rate - 300.0).abs() < 30.0, "rate {rate}");
+        assert!(t.is_sorted_by_arrival());
+    }
+
+    #[test]
+    fn on_off_mean_rate_formula() {
+        let a = Arrival::OnOff {
+            base_rate_per_min: 100.0,
+            burst_rate_per_min: 1000.0,
+            mean_base_secs: 60.0,
+            mean_burst_secs: 20.0,
+        };
+        assert!((a.mean_rate_per_min() - 325.0).abs() < 1e-9);
+        let t = trace_of(&a, 3600.0, 2);
+        let rate = t.len() as f64 / 60.0;
+        assert!((rate - 325.0).abs() < 75.0, "rate {rate}");
+    }
+
+    #[test]
+    fn burstiness_orders_processes_by_minute_cv() {
+        // The satellite check: TraceStats::minute_cv must rank the
+        // processes steady < Poisson < diurnal/on-off.
+        let horizon = 1800.0;
+        let steady = trace_of(
+            &Arrival::Replay {
+                per_minute: vec![325; 30],
+            },
+            horizon,
+            3,
+        );
+        let poisson = trace_of(
+            &Arrival::Poisson {
+                rate_per_min: 325.0,
+            },
+            horizon,
+            3,
+        );
+        let onoff = trace_of(
+            &Arrival::OnOff {
+                base_rate_per_min: 100.0,
+                burst_rate_per_min: 1000.0,
+                mean_base_secs: 60.0,
+                mean_burst_secs: 20.0,
+            },
+            horizon,
+            3,
+        );
+        let diurnal = trace_of(
+            &Arrival::Diurnal {
+                mean_rate_per_min: 325.0,
+                relative_amplitude: 0.8,
+                period_secs: horizon,
+            },
+            horizon,
+            3,
+        );
+        let cv = |t: &Trace| t.stats().minute_cv;
+        assert_eq!(cv(&steady), 0.0, "exact per-minute replay is steady");
+        // Poisson CV ≈ 1/√325 ≈ 0.055.
+        assert!(
+            cv(&poisson) > 0.01 && cv(&poisson) < 0.15,
+            "{}",
+            cv(&poisson)
+        );
+        assert!(cv(&onoff) > 2.0 * cv(&poisson), "on-off {}", cv(&onoff));
+        assert!(
+            cv(&diurnal) > 2.0 * cv(&poisson),
+            "diurnal {}",
+            cv(&diurnal)
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_to_trough() {
+        // One full period over the horizon: the first half (sin > 0) must
+        // carry more load than the second half (sin < 0).
+        let a = Arrival::Diurnal {
+            mean_rate_per_min: 600.0,
+            relative_amplitude: 0.9,
+            period_secs: 1200.0,
+        };
+        let t = trace_of(&a, 1200.0, 5);
+        let half = SimTime::from_secs(600);
+        let first = t.requests().iter().filter(|r| r.at < half).count();
+        let second = t.len() - first;
+        assert!(
+            first as f64 > 1.5 * second as f64,
+            "first {first} second {second}"
+        );
+    }
+
+    #[test]
+    fn replay_counts_are_exact() {
+        let a = Arrival::Replay {
+            per_minute: vec![5, 0, 12],
+        };
+        let t = trace_of(&a, 180.0, 7);
+        assert_eq!(t.minute_counts(), vec![5, 0, 12]);
+        assert!((a.mean_rate_per_min() - 17.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_arrivals() {
+        for a in [
+            Arrival::Poisson { rate_per_min: 50.0 },
+            Arrival::Diurnal {
+                mean_rate_per_min: 50.0,
+                relative_amplitude: 0.5,
+                period_secs: 360.0,
+            },
+        ] {
+            let x = a.sample(360.0, &mut DetRng::new(9));
+            let y = a.sample(360.0, &mut DetRng::new(9));
+            assert_eq!(x, y);
+            let z = a.sample(360.0, &mut DetRng::new(10));
+            assert_ne!(x, z);
+        }
+    }
+}

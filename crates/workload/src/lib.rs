@@ -1,0 +1,154 @@
+//! `gfaas-workload` — composable, seed-deterministic scenario generation.
+//!
+//! The paper evaluates on exactly one workload: a 6-minute Azure-like
+//! trace with a frozen Zipf popularity law (`gfaas_trace::azure`). This
+//! crate decomposes workload synthesis into three orthogonal parts so new
+//! scenarios are a one-liner rather than a fork of the Azure generator:
+//!
+//! * [`Arrival`] — *when* requests arrive (homogeneous Poisson, on-off
+//!   MMPP bursts, diurnal sinusoid, replay of per-minute counts);
+//! * [`Popularity`] — *which function* each arrival invokes (static Zipf,
+//!   drifting Zipf, flash crowd, working-set churn);
+//! * [`ModelMapping`] — *which Table I model* a function id maps to.
+//!
+//! A [`WorkloadSpec`] combines the three into a `gfaas_trace::Trace`, so
+//! `Cluster::run` consumes the result unchanged. [`scenario`] names and
+//! documents the preset combinations every report binary sweeps.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod popularity;
+pub mod scenario;
+
+use gfaas_sim::rng::DetRng;
+use gfaas_trace::{interleaved_model_of, Trace, TraceRequest};
+
+pub use arrival::Arrival;
+pub use popularity::{Popularity, PopularitySampler};
+pub use scenario::{registry, Scale, Scenario, ScenarioKind};
+
+/// How function ids map onto the model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelMapping {
+    /// The paper's mapping: interleave the size-ordered model list
+    /// (smallest, largest, 2nd smallest, …) so every popularity prefix
+    /// spans the full size spectrum ([`gfaas_trace::interleaved_model_of`]).
+    InterleavedSizes {
+        /// Number of models (22 for Table I).
+        num_models: u32,
+    },
+    /// Plain `function % num_models` — popular functions get the smallest
+    /// models (useful as an adversarial contrast to the paper's mapping).
+    Modulo {
+        /// Number of models.
+        num_models: u32,
+    },
+    /// Every function runs the same model (single-model saturation).
+    Fixed {
+        /// The model id.
+        model: u32,
+    },
+}
+
+impl ModelMapping {
+    /// The model a function id maps to.
+    pub fn model_of(&self, function: u32) -> u32 {
+        match self {
+            ModelMapping::InterleavedSizes { num_models } => {
+                interleaved_model_of(function, *num_models)
+            }
+            ModelMapping::Modulo { num_models } => {
+                assert!(*num_models > 0, "need at least one model");
+                function % num_models
+            }
+            ModelMapping::Fixed { model } => *model,
+        }
+    }
+}
+
+/// A complete workload description: arrival process × popularity model ×
+/// model mapping over a horizon, pinned to a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// When requests arrive.
+    pub arrival: Arrival,
+    /// Which function each arrival invokes.
+    pub popularity: Popularity,
+    /// Which model each function runs.
+    pub mapping: ModelMapping,
+    /// Trace horizon, seconds.
+    pub horizon_secs: f64,
+    /// RNG seed; same spec + same seed → byte-identical trace.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Generates the trace. The arrival and popularity draws come from
+    /// independent forked RNG streams, so adding a draw to one part never
+    /// perturbs the other.
+    pub fn generate(&self) -> Trace {
+        let mut root = DetRng::new(self.seed);
+        let mut arrival_rng = root.fork(0xA441);
+        let mut pop_rng = root.fork(0x9019);
+        let times = self.arrival.sample(self.horizon_secs, &mut arrival_rng);
+        let sampler = self.popularity.sampler();
+        let requests: Vec<TraceRequest> = times
+            .into_iter()
+            .map(|at| {
+                let function = sampler.sample(at, &mut pop_rng);
+                TraceRequest {
+                    at,
+                    function,
+                    model: self.mapping.model_of(function),
+                }
+            })
+            .collect();
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfaas_trace::AzureTraceConfig;
+
+    #[test]
+    fn interleaved_matches_azure_config() {
+        let cfg = AzureTraceConfig::paper(35, 0);
+        let m = ModelMapping::InterleavedSizes { num_models: 22 };
+        for f in 0..100u32 {
+            assert_eq!(m.model_of(f), cfg.model_of(f));
+        }
+    }
+
+    #[test]
+    fn mapping_variants() {
+        assert_eq!(ModelMapping::Modulo { num_models: 7 }.model_of(9), 2);
+        assert_eq!(ModelMapping::Fixed { model: 4 }.model_of(9), 4);
+    }
+
+    #[test]
+    fn spec_generates_deterministic_sorted_traces() {
+        let spec = WorkloadSpec {
+            arrival: Arrival::Poisson {
+                rate_per_min: 325.0,
+            },
+            popularity: Popularity::Zipf {
+                working_set: 25,
+                alpha: 1.2176,
+            },
+            mapping: ModelMapping::InterleavedSizes { num_models: 22 },
+            horizon_secs: 360.0,
+            seed: 11,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.requests(), b.requests());
+        assert!(a.is_sorted_by_arrival());
+        assert!(!a.is_empty());
+        assert!(a.requests().iter().all(|r| r.model < 22));
+        let c = WorkloadSpec { seed: 12, ..spec }.generate();
+        assert_ne!(a.requests(), c.requests());
+    }
+}

@@ -1,0 +1,258 @@
+//! Popularity models: *which function* each arrival invokes.
+//!
+//! The paper fixes one static Zipf law (§V-A1); these models generalise
+//! it along the axes the real Azure trace actually moves on — rank
+//! rotation over time, flash crowds on cold functions, and working-set
+//! membership churn — while keeping the instantaneous law Zipf-shaped so
+//! results stay comparable to the paper's.
+
+use gfaas_sim::rng::{DetRng, Zipf};
+use gfaas_sim::time::SimTime;
+
+/// A (possibly time-varying) distribution over function ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Popularity {
+    /// The paper's model: a static Zipf(α) law over a fixed working set;
+    /// function id == popularity rank.
+    Zipf {
+        /// Number of functions.
+        working_set: usize,
+        /// Zipf exponent.
+        alpha: f64,
+    },
+    /// Zipf whose rank→function assignment rotates by one position every
+    /// `period_secs`: the identity of the hottest function keeps moving,
+    /// so caches tuned to a frozen head keep going stale while the
+    /// aggregate law stays Zipf.
+    DriftingZipf {
+        /// Number of functions.
+        working_set: usize,
+        /// Zipf exponent.
+        alpha: f64,
+        /// Seconds between successive one-position rotations.
+        period_secs: f64,
+    },
+    /// A static Zipf law, except that inside `[start_secs, start_secs +
+    /// duration_secs)` a previously unseen cold function captures
+    /// `crowd_share` of all traffic — the flash-crowd / viral-event case.
+    FlashCrowd {
+        /// Number of functions in the base law.
+        working_set: usize,
+        /// Zipf exponent of the base law.
+        alpha: f64,
+        /// Id of the crowd function (conventionally `working_set`, i.e.
+        /// outside the base set, so it starts fully cold).
+        crowd_function: u32,
+        /// When the crowd begins, seconds.
+        start_secs: f64,
+        /// How long it lasts, seconds.
+        duration_secs: f64,
+        /// Fraction of in-window traffic it captures, in `[0, 1]`.
+        crowd_share: f64,
+    },
+    /// Working-set churn: every `period_secs` the whole id window slides
+    /// forward by `shift`, retiring the `shift` hottest functions and
+    /// introducing `shift` brand-new cold ones. The instantaneous law is
+    /// always Zipf; membership is what changes.
+    Churn {
+        /// Number of simultaneously active functions.
+        working_set: usize,
+        /// Zipf exponent.
+        alpha: f64,
+        /// Seconds between membership shifts.
+        period_secs: f64,
+        /// How many functions enter/leave per shift (≥ 1).
+        shift: usize,
+    },
+}
+
+impl Popularity {
+    /// The number of simultaneously active functions.
+    pub fn working_set(&self) -> usize {
+        match self {
+            Popularity::Zipf { working_set, .. }
+            | Popularity::DriftingZipf { working_set, .. }
+            | Popularity::FlashCrowd { working_set, .. }
+            | Popularity::Churn { working_set, .. } => *working_set,
+        }
+    }
+
+    /// Precomputes the sampler (Zipf inverse CDF) for this model.
+    pub fn sampler(&self) -> PopularitySampler {
+        let (ws, alpha) = match self {
+            Popularity::Zipf { working_set, alpha }
+            | Popularity::DriftingZipf {
+                working_set, alpha, ..
+            }
+            | Popularity::FlashCrowd {
+                working_set, alpha, ..
+            }
+            | Popularity::Churn {
+                working_set, alpha, ..
+            } => (*working_set, *alpha),
+        };
+        assert!(ws > 0, "working set must be nonempty");
+        match self {
+            Popularity::DriftingZipf { period_secs, .. }
+            | Popularity::Churn { period_secs, .. } => {
+                assert!(*period_secs > 0.0, "period must be positive");
+            }
+            Popularity::FlashCrowd {
+                duration_secs,
+                crowd_share,
+                ..
+            } => {
+                assert!(*duration_secs >= 0.0, "duration must be nonnegative");
+                assert!(
+                    (0.0..=1.0).contains(crowd_share),
+                    "crowd share must be in [0, 1]"
+                );
+            }
+            Popularity::Zipf { .. } => {}
+        }
+        if let Popularity::Churn { shift, .. } = self {
+            assert!(*shift > 0, "churn shift must be at least 1");
+        }
+        PopularitySampler {
+            model: self.clone(),
+            zipf: Zipf::new(ws, alpha),
+        }
+    }
+}
+
+/// A ready-to-draw popularity model: the [`Popularity`] config plus its
+/// precomputed Zipf inverse CDF.
+#[derive(Debug, Clone)]
+pub struct PopularitySampler {
+    model: Popularity,
+    zipf: Zipf,
+}
+
+impl PopularitySampler {
+    /// Draws the function id invoked by an arrival at time `at`.
+    pub fn sample(&self, at: SimTime, rng: &mut DetRng) -> u32 {
+        let t = at.as_secs_f64();
+        match &self.model {
+            Popularity::Zipf { .. } => self.zipf.sample(rng) as u32,
+            Popularity::DriftingZipf {
+                working_set,
+                period_secs,
+                ..
+            } => {
+                let rank = self.zipf.sample(rng) as u64;
+                let rotation = (t / period_secs) as u64;
+                ((rank + rotation) % *working_set as u64) as u32
+            }
+            Popularity::FlashCrowd {
+                crowd_function,
+                start_secs,
+                duration_secs,
+                crowd_share,
+                ..
+            } => {
+                let in_window = t >= *start_secs && t < start_secs + duration_secs;
+                if in_window && rng.chance(*crowd_share) {
+                    *crowd_function
+                } else {
+                    self.zipf.sample(rng) as u32
+                }
+            }
+            Popularity::Churn {
+                period_secs, shift, ..
+            } => {
+                let rank = self.zipf.sample(rng) as u64;
+                let epoch = (t / period_secs) as u64;
+                (rank + epoch * *shift as u64) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: f64 = 1.2176;
+
+    fn head_of(counts: &std::collections::BTreeMap<u32, usize>) -> u32 {
+        *counts.iter().max_by_key(|(_, &c)| c).unwrap().0
+    }
+
+    fn sample_counts(
+        s: &PopularitySampler,
+        t: f64,
+        n: usize,
+        seed: u64,
+    ) -> std::collections::BTreeMap<u32, usize> {
+        let mut rng = DetRng::new(seed);
+        let at = SimTime::from_secs_f64(t);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            *counts.entry(s.sample(at, &mut rng)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn static_zipf_head_is_rank_zero() {
+        let s = Popularity::Zipf {
+            working_set: 25,
+            alpha: ALPHA,
+        }
+        .sampler();
+        let counts = sample_counts(&s, 0.0, 5000, 1);
+        assert_eq!(head_of(&counts), 0);
+        assert!(counts.keys().all(|&f| f < 25));
+    }
+
+    #[test]
+    fn drift_rotates_the_head() {
+        let s = Popularity::DriftingZipf {
+            working_set: 25,
+            alpha: ALPHA,
+            period_secs: 60.0,
+        }
+        .sampler();
+        // Epoch 0: head is function 0. Epoch 3 (t = 180 s): head is 3.
+        assert_eq!(head_of(&sample_counts(&s, 0.0, 5000, 2)), 0);
+        assert_eq!(head_of(&sample_counts(&s, 180.0, 5000, 2)), 3);
+        // Ids stay inside the working set.
+        assert!(sample_counts(&s, 500.0, 2000, 3).keys().all(|&f| f < 25));
+    }
+
+    #[test]
+    fn flash_crowd_spikes_only_in_window() {
+        let s = Popularity::FlashCrowd {
+            working_set: 25,
+            alpha: ALPHA,
+            crowd_function: 25,
+            start_secs: 100.0,
+            duration_secs: 50.0,
+            crowd_share: 0.5,
+        }
+        .sampler();
+        let before = sample_counts(&s, 50.0, 4000, 4);
+        assert!(!before.contains_key(&25), "crowd fired before its window");
+        let during = sample_counts(&s, 120.0, 4000, 4);
+        let share = during[&25] as f64 / 4000.0;
+        assert!((share - 0.5).abs() < 0.05, "share {share}");
+        let after = sample_counts(&s, 151.0, 4000, 4);
+        assert!(!after.contains_key(&25), "crowd fired after its window");
+    }
+
+    #[test]
+    fn churn_marches_ids_forward() {
+        let s = Popularity::Churn {
+            working_set: 25,
+            alpha: ALPHA,
+            period_secs: 90.0,
+            shift: 5,
+        }
+        .sampler();
+        let epoch0 = sample_counts(&s, 0.0, 3000, 5);
+        assert!(epoch0.keys().all(|&f| f < 25));
+        let epoch2 = sample_counts(&s, 200.0, 3000, 5);
+        assert_eq!(head_of(&epoch2), 10, "epoch 2 head shifted by 2·5");
+        assert!(epoch2.keys().all(|&f| (10..35).contains(&f)));
+    }
+}

@@ -1,0 +1,330 @@
+//! The scenario registry: named, documented workload presets.
+//!
+//! Every preset is a [`WorkloadSpec`] template parameterised by a
+//! [`Scale`] (paper testbed volume or 10× "production" volume) and a
+//! seed. The `paper` scenario is special-cased to delegate to
+//! [`AzureTraceConfig`] so its traces — and therefore every number a
+//! suite reports for it — are byte-identical to the ones
+//! `fig4_comparison` and the rest of the report binaries already print.
+
+use gfaas_trace::azure::AZURE_ZIPF_ALPHA;
+use gfaas_trace::{AzureTraceConfig, Trace};
+
+use crate::arrival::Arrival;
+use crate::popularity::Popularity;
+use crate::{ModelMapping, WorkloadSpec};
+
+/// Number of models in the paper's Table I zoo.
+pub const NUM_MODELS: u32 = 22;
+
+/// Workload volume: how hard the scenarios push the paper testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Display name.
+    pub name: &'static str,
+    /// Mean request volume per minute.
+    pub requests_per_min: usize,
+    /// Horizon, minutes.
+    pub minutes: usize,
+    /// Working-set size (simultaneously popular functions).
+    pub working_set: usize,
+}
+
+impl Scale {
+    /// The paper's setup: 325 req/min × 6 min, working set 25 (the middle
+    /// of the paper's 15/25/35 sweep).
+    pub const fn paper() -> Scale {
+        Scale {
+            name: "paper",
+            requests_per_min: 325,
+            minutes: 6,
+            working_set: 25,
+        }
+    }
+
+    /// 10× the paper's volume over a doubled horizon with the widest
+    /// working set — the "production" pressure test.
+    pub const fn production() -> Scale {
+        Scale {
+            name: "production",
+            requests_per_min: 3250,
+            minutes: 12,
+            working_set: 35,
+        }
+    }
+
+    /// The shortest useful configuration: 60 req over one minute, for CI
+    /// smoke runs.
+    pub const fn smoke() -> Scale {
+        Scale {
+            name: "smoke",
+            requests_per_min: 60,
+            minutes: 1,
+            working_set: 15,
+        }
+    }
+
+    /// The horizon in seconds.
+    pub fn horizon_secs(&self) -> f64 {
+        60.0 * self.minutes as f64
+    }
+}
+
+/// Which preset a [`Scenario`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// The paper's workload, verbatim ([`AzureTraceConfig`]).
+    Paper,
+    /// On-off MMPP bursts (3× rate while bursting) over static Zipf.
+    Burst,
+    /// One full diurnal sinusoid (±80%) over static Zipf.
+    Diurnal,
+    /// Steady paper-shaped volume, but mid-trace a cold function captures
+    /// half of all traffic for a third of the horizon.
+    FlashCrowd,
+    /// Poisson arrivals with the Zipf head rotating one rank six times
+    /// over the horizon.
+    Drift,
+    /// Poisson arrivals with the working-set membership sliding forward
+    /// (hot functions retire, cold ones enter) thrice over the horizon.
+    Churn,
+}
+
+/// A named, documented workload preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Registry name (stable; used by CLI flags and reports).
+    pub name: &'static str,
+    /// One-line description for tables and docs.
+    pub description: &'static str,
+    /// The preset this scenario instantiates.
+    pub kind: ScenarioKind,
+}
+
+/// All registered scenarios, in presentation order.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "paper",
+            description: "the paper's Azure-like trace (calibrated Zipf, normalised volume)",
+            kind: ScenarioKind::Paper,
+        },
+        Scenario {
+            name: "burst",
+            description: "on-off MMPP arrivals: 3x rate bursts ~10 s long between quiet spells",
+            kind: ScenarioKind::Burst,
+        },
+        Scenario {
+            name: "diurnal",
+            description: "one full sinusoidal day-cycle (+/-80% of mean rate) over the horizon",
+            kind: ScenarioKind::Diurnal,
+        },
+        Scenario {
+            name: "flash_crowd",
+            description: "a cold function captures 50% of traffic for the middle third",
+            kind: ScenarioKind::FlashCrowd,
+        },
+        Scenario {
+            name: "drift",
+            description: "Zipf head rotates one rank six times over the horizon",
+            kind: ScenarioKind::Drift,
+        },
+        Scenario {
+            name: "churn",
+            description: "working set slides forward thrice: hot functions retire, cold enter",
+            kind: ScenarioKind::Churn,
+        },
+    ]
+}
+
+/// Looks a scenario up by its registry name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The paper generator at an arbitrary scale (the `paper` preset).
+fn azure_config(scale: &Scale, seed: u64) -> AzureTraceConfig {
+    let mut cfg = AzureTraceConfig::paper(scale.working_set, seed);
+    cfg.requests_per_min = scale.requests_per_min;
+    cfg.minutes = scale.minutes;
+    cfg
+}
+
+impl Scenario {
+    /// The composed [`WorkloadSpec`] behind this scenario at the given
+    /// scale and seed; `None` for [`ScenarioKind::Paper`], which delegates
+    /// to [`AzureTraceConfig`] verbatim (so its numbers stay bit-equal to
+    /// the existing report binaries).
+    pub fn spec(&self, scale: &Scale, seed: u64) -> Option<WorkloadSpec> {
+        let rpm = scale.requests_per_min as f64;
+        let ws = scale.working_set;
+        let horizon = scale.horizon_secs();
+        let mapping = ModelMapping::InterleavedSizes {
+            num_models: NUM_MODELS,
+        };
+        let zipf = Popularity::Zipf {
+            working_set: ws,
+            alpha: AZURE_ZIPF_ALPHA,
+        };
+        let spec = |arrival, popularity| {
+            Some(WorkloadSpec {
+                arrival,
+                popularity,
+                mapping,
+                horizon_secs: horizon,
+                seed,
+            })
+        };
+        match self.kind {
+            ScenarioKind::Paper => None,
+            // Dwell means 30 s quiet / 10 s bursting with a 3x burst rate
+            // and a 1/3x quiet rate keep the long-run mean at exactly rpm
+            // — (3r·10 + r/3·30) / 40 = r — while fitting ~9 on-off cycles
+            // into the paper's 6-minute horizon so realised volume
+            // concentrates near the target.
+            ScenarioKind::Burst => spec(
+                Arrival::OnOff {
+                    base_rate_per_min: rpm / 3.0,
+                    burst_rate_per_min: 3.0 * rpm,
+                    mean_base_secs: 30.0,
+                    mean_burst_secs: 10.0,
+                },
+                zipf,
+            ),
+            ScenarioKind::Diurnal => spec(
+                Arrival::Diurnal {
+                    mean_rate_per_min: rpm,
+                    relative_amplitude: 0.8,
+                    period_secs: horizon,
+                },
+                zipf,
+            ),
+            ScenarioKind::FlashCrowd => spec(
+                Arrival::Replay {
+                    per_minute: vec![scale.requests_per_min; scale.minutes],
+                },
+                Popularity::FlashCrowd {
+                    working_set: ws,
+                    alpha: AZURE_ZIPF_ALPHA,
+                    crowd_function: ws as u32,
+                    start_secs: horizon / 3.0,
+                    duration_secs: horizon / 3.0,
+                    crowd_share: 0.5,
+                },
+            ),
+            ScenarioKind::Drift => spec(
+                Arrival::Poisson { rate_per_min: rpm },
+                Popularity::DriftingZipf {
+                    working_set: ws,
+                    alpha: AZURE_ZIPF_ALPHA,
+                    period_secs: horizon / 6.0,
+                },
+            ),
+            ScenarioKind::Churn => spec(
+                Arrival::Poisson { rate_per_min: rpm },
+                Popularity::Churn {
+                    working_set: ws,
+                    alpha: AZURE_ZIPF_ALPHA,
+                    period_secs: horizon / 3.0,
+                    shift: (ws / 5).max(1),
+                },
+            ),
+        }
+    }
+
+    /// Generates this scenario's trace at the given scale and seed.
+    pub fn trace(&self, scale: &Scale, seed: u64) -> Trace {
+        match self.spec(scale, seed) {
+            Some(spec) => spec.generate(),
+            None => azure_config(scale, seed).generate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_unique_named_scenarios() {
+        let reg = registry();
+        assert_eq!(reg.len(), 6);
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "duplicate scenario names");
+        assert!(find("flash_crowd").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn paper_scenario_is_bit_equal_to_azure_generator() {
+        let sc = find("paper").unwrap();
+        let scale = Scale::paper();
+        for seed in [11, 23, 47] {
+            let ours = sc.trace(&scale, seed);
+            let azure = AzureTraceConfig::paper(25, seed).generate();
+            assert_eq!(ours.requests(), azure.requests(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_scenario_generates_at_every_scale() {
+        for scale in [Scale::paper(), Scale::production(), Scale::smoke()] {
+            for sc in registry() {
+                let t = sc.trace(&scale, 7);
+                assert!(!t.is_empty(), "{} at {}", sc.name, scale.name);
+                assert!(t.is_sorted_by_arrival(), "{} at {}", sc.name, scale.name);
+                assert!(
+                    t.requests().iter().all(|r| r.model < NUM_MODELS),
+                    "{} at {} maps outside the zoo",
+                    sc.name,
+                    scale.name
+                );
+                // Same seed → same trace.
+                assert_eq!(t.requests(), sc.trace(&scale, 7).requests());
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_shape_their_workloads() {
+        let scale = Scale::paper();
+        let cv = |name: &str| find(name).unwrap().trace(&scale, 3).stats().minute_cv;
+        assert!(cv("burst") > 2.0 * cv("paper"), "burst must be burstier");
+        assert!(cv("diurnal") > 2.0 * cv("paper"), "diurnal must swing");
+
+        // Flash crowd: the crowd function exists and dominates mid-trace.
+        let t = find("flash_crowd").unwrap().trace(&scale, 3);
+        let crowd = scale.working_set as u32;
+        let counts = t.function_counts();
+        let share = counts[&crowd] as f64 / t.len() as f64;
+        // 50% of the middle third ≈ 1/6 of all traffic.
+        assert!((share - 1.0 / 6.0).abs() < 0.05, "crowd share {share}");
+
+        // Churn: more distinct functions touched than the working set.
+        let churned = find("churn").unwrap().trace(&scale, 3);
+        assert!(churned.stats().working_set > scale.working_set);
+
+        // Drift: rank 0's traffic is spread over rotations, so the single
+        // hottest function carries clearly less than under the static law.
+        let static_head = *find("paper")
+            .unwrap()
+            .trace(&scale, 3)
+            .function_counts()
+            .values()
+            .max()
+            .unwrap();
+        let drift_head = *find("drift")
+            .unwrap()
+            .trace(&scale, 3)
+            .function_counts()
+            .values()
+            .max()
+            .unwrap();
+        assert!(
+            (drift_head as f64) < 0.8 * static_head as f64,
+            "drift head {drift_head} vs static {static_head}"
+        );
+    }
+}

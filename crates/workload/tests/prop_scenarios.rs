@@ -1,0 +1,94 @@
+//! Property tests over the scenario-generation subsystem.
+//!
+//! * The calibrated Zipf generator holds the paper's headline statistic —
+//!   a 56% top-15 share — for every seed, not just the documented ones.
+//! * Every scenario's trace is sorted by arrival time for every seed.
+//! * Every scenario's trace survives the CSV write→read cycle with a
+//!   byte-identical re-serialisation.
+
+use gfaas_trace::azure::{AZURE_TOTAL_FUNCTIONS, AZURE_ZIPF_ALPHA, PAPER_REQUESTS_PER_MIN};
+use gfaas_trace::{AzureTraceConfig, Trace};
+use gfaas_workload::{registry, Scale};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary seeds, a trace drawn from the calibrated Zipf law
+    /// over the full 46,413-function population keeps the top-15 share
+    /// within ±2% of the paper's 56%. Burstiness is disabled so the test
+    /// isolates the popularity law itself (the per-minute modulation is
+    /// deliberately noisy and is validated via `TraceStats::minute_cv`
+    /// instead).
+    #[test]
+    fn calibrated_zipf_holds_top15_share(seed in any::<u64>()) {
+        let mut cfg = AzureTraceConfig::paper(AZURE_TOTAL_FUNCTIONS, seed);
+        cfg.burstiness = 0.0;
+        let share = cfg.generate().stats().top15_share;
+        prop_assert!(
+            (share - 0.56).abs() < 0.02,
+            "seed {seed}: top-15 share {share:.4}, want 0.56 +/- 0.02"
+        );
+        prop_assert!((cfg.population_top15_share() - 0.56).abs() < 0.02);
+    }
+
+    /// Every registered scenario yields an arrival-sorted, nonempty trace
+    /// for arbitrary seeds, with volume near the scale's target. The
+    /// tolerance is per-process: replay volumes are exact, Poisson is
+    /// tight, and the on-off MMPP — only ~9 dwell cycles fit the 6-minute
+    /// horizon, so the random state mix dominates realised volume — gets
+    /// a loose band that still catches unit bugs (a per-sec/per-min
+    /// confusion would be 60× off).
+    #[test]
+    fn every_scenario_is_sorted_and_sized(seed in any::<u64>()) {
+        let scale = Scale::paper();
+        let target = (scale.requests_per_min * scale.minutes) as f64;
+        for sc in registry() {
+            let t = sc.trace(&scale, seed);
+            prop_assert!(t.is_sorted_by_arrival(), "{} seed {seed}", sc.name);
+            prop_assert!(!t.is_empty(), "{} seed {seed}", sc.name);
+            let vol = t.len() as f64;
+            let (lo, hi) = match sc.name {
+                "paper" | "flash_crowd" => (target, target), // exact renormalised volume
+                "burst" => (0.2 * target, 3.0 * target),
+                _ => (0.75 * target, 1.25 * target),
+            };
+            prop_assert!(
+                (lo..=hi).contains(&vol),
+                "{} seed {seed}: volume {vol}, want [{lo}, {hi}]", sc.name
+            );
+        }
+    }
+
+    /// CSV round trip: writing a scenario's trace, reading it back, and
+    /// writing it again yields byte-identical CSV. (The first write
+    /// truncates timestamps to the 6-decimal CSV precision, so the bytes —
+    /// not the raw micro-tick times — are the round-trip invariant.)
+    #[test]
+    fn scenario_traces_round_trip_csv(seed in any::<u64>()) {
+        let scale = Scale::smoke();
+        for sc in registry() {
+            let t = sc.trace(&scale, seed);
+            let mut first = Vec::new();
+            t.write_csv(&mut first).unwrap();
+            let parsed = Trace::read_csv(std::io::BufReader::new(&first[..])).unwrap();
+            prop_assert_eq!(parsed.len(), t.len(), "{} seed {}", sc.name, seed);
+            let mut second = Vec::new();
+            parsed.write_csv(&mut second).unwrap();
+            prop_assert_eq!(&first, &second, "{} seed {}: CSV not byte-stable", sc.name, seed);
+        }
+    }
+}
+
+/// The paper-scale `paper` scenario reproduces the paper's published
+/// shape: exact volume, 6-minute horizon, and ~paper request rate.
+#[test]
+fn paper_scenario_matches_published_shape() {
+    let sc = gfaas_workload::scenario::find("paper").unwrap();
+    let t = sc.trace(&Scale::paper(), 11);
+    let s = t.stats();
+    assert_eq!(s.total, PAPER_REQUESTS_PER_MIN * 6);
+    assert_eq!(s.working_set, 25);
+    assert!(s.span_secs < 360.0);
+    assert!((AZURE_ZIPF_ALPHA - 1.2176).abs() < 1e-12);
+}

@@ -8,6 +8,7 @@
 //! * [`tensor`] — CPU tensor library and CNN inference engine;
 //! * [`gpu`] — the simulated GPU device model;
 //! * [`trace`] — Azure-trace-shaped workload synthesis;
+//! * [`workload`] — composable scenario generation and the scenario registry;
 //! * [`models`] — the Table I model zoo and profiler;
 //! * [`faas`] — the FaaS substrate (datastore, gateway, watchdog);
 //! * [`core`] — LALB/LALB+O3 scheduling and cache management;
@@ -23,3 +24,4 @@ pub use gfaas_models as models;
 pub use gfaas_sim as sim;
 pub use gfaas_tensor as tensor;
 pub use gfaas_trace as trace;
+pub use gfaas_workload as workload;
