@@ -1,18 +1,23 @@
 //! `gfaas` — command-line front end for the experiment harness.
 //!
 //! ```text
-//! gfaas run [--policy lb|lalb|lalbo3] [--ws N] [--seed S] [--seeds a,b,c]
+//! gfaas run [--policy SPEC] [--ws N] [--seed S] [--seeds a,b,c]
 //!           [--o3-limit N] [--gpus N] [--headroom MIB] [--burstiness F]
-//!           [--replacement lru|fifo|random] [--tenants N] [--tenant-cap N]
+//!           [--replacement SPEC] [--tenants N] [--tenant-cap N]
 //! gfaas profile            # regenerate Table I
 //! gfaas trace [--ws N] [--seed S] [--out FILE]   # emit a CSV workload
 //! gfaas sweep              # the full Fig 4 grid (policies x working sets)
 //! ```
+//!
+//! Policy SPECs are registry keys with optional arguments: schedulers
+//! `lb`, `lalb`, `lalbo3[:limit]`; replacements `lru`, `fifo`, `random`,
+//! `tinylfu[:decay]` — anything `gfaas_core::PolicyRegistry::builtin()`
+//! knows.
 
 use std::collections::HashMap;
 
-use gfaas_bench::{paper_policies, TablePrinter, WORKING_SETS};
-use gfaas_core::{Cluster, ClusterConfig, Policy, ReplacementPolicy, RunMetrics};
+use gfaas_bench::{paper_policies, parse_cli_spec, SpecKind, TablePrinter, WORKING_SETS};
+use gfaas_core::{Cluster, ClusterConfig, PolicyRegistry, PolicySpec, RunMetrics};
 use gfaas_gpu::pcie::PcieModel;
 use gfaas_models::profiler::profile_all;
 use gfaas_models::ModelRegistry;
@@ -21,9 +26,10 @@ use gfaas_trace::AzureTraceConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: gfaas <run|profile|trace|sweep> [flags]\n\
-         run flags: --policy lb|lalb|lalbo3  --ws N  --seed S  --seeds a,b,c\n\
+         run flags: --policy lb|lalb|lalbo3[:limit]  --ws N  --seed S  --seeds a,b,c\n\
          \x20          --o3-limit N  --gpus N  --headroom MIB  --burstiness F\n\
-         \x20          --replacement lru|fifo|random  --tenants N  --tenant-cap N\n\
+         \x20          --replacement lru|fifo|random|tinylfu[:decay]\n\
+         \x20          --tenants N  --tenant-cap N\n\
          trace flags: --ws N  --seed S  --out FILE"
     );
     std::process::exit(2);
@@ -56,23 +62,42 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
     }
 }
 
-fn policy_of(flags: &HashMap<String, String>) -> Policy {
-    let base = match flags.get("policy").map(String::as_str) {
-        None | Some("lalbo3") => Policy::lalbo3(),
-        Some("lb") => Policy::lb(),
-        Some("lalb") => Policy::lalb(),
-        Some(other) => {
-            eprintln!("unknown policy {other:?}");
-            usage();
-        }
-    };
-    match (base, flags.get("o3-limit")) {
-        (Policy::Lalb { .. }, Some(v)) => Policy::lalb_with_limit(v.parse().unwrap_or_else(|_| {
+fn cli_spec(s: &str, kind: SpecKind) -> PolicySpec {
+    parse_cli_spec(s, kind).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
+}
+
+/// Resolves `--policy` (any registered scheduler spec) with the legacy
+/// `--o3-limit N` flag folded in as `lalbo3:N` for the LALB family.
+fn policy_of(flags: &HashMap<String, String>) -> PolicySpec {
+    let mut raw = flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("lalbo3")
+        .to_string();
+    if let Some(v) = flags.get("o3-limit") {
+        let limit: u32 = v.parse().unwrap_or_else(|_| {
             eprintln!("bad --o3-limit {v:?}");
             usage();
-        })),
-        _ => base,
+        });
+        if raw == "lalb" || raw == "lalbo3" || raw.starts_with("lalbo3:") {
+            raw = format!("lalbo3:{limit}");
+        }
     }
+    cli_spec(&raw, SpecKind::Scheduler)
+}
+
+/// Resolves `--replacement` against the registry (default `lru`).
+fn replacement_of(flags: &HashMap<String, String>) -> PolicySpec {
+    cli_spec(
+        flags
+            .get("replacement")
+            .map(String::as_str)
+            .unwrap_or("lru"),
+        SpecKind::Evictor,
+    )
 }
 
 fn print_metrics(name: &str, m: &RunMetrics) {
@@ -95,6 +120,10 @@ fn print_metrics(name: &str, m: &RunMetrics) {
 
 fn cmd_run(flags: HashMap<String, String>) {
     let policy = policy_of(&flags);
+    let replacement = replacement_of(&flags);
+    let policy_name = PolicyRegistry::builtin()
+        .scheduler_name(&policy)
+        .expect("validated above");
     let ws: usize = get(&flags, "ws", 25);
     let seeds: Vec<u64> = match flags.get("seeds") {
         Some(list) => list
@@ -113,8 +142,18 @@ fn cmd_run(flags: HashMap<String, String>) {
         let mut tc = AzureTraceConfig::paper(ws, seed);
         tc.burstiness = get(&flags, "burstiness", tc.burstiness);
         let trace = tc.generate();
-        let mut cfg = ClusterConfig::paper_testbed(policy);
+        let mut cfg = ClusterConfig::paper_testbed(policy.clone());
         cfg.num_gpus = get(&flags, "gpus", cfg.num_gpus);
+        if !cfg.num_gpus.is_multiple_of(cfg.gpus_per_node) {
+            // Keep the node shape valid when --gpus overrides the testbed;
+            // grouping is reporting-only today, but say so out loud.
+            cfg.gpus_per_node = cfg.num_gpus.max(1);
+            eprintln!(
+                "note: --gpus {} does not tile the testbed's 4-GPU nodes; \
+                 treating the cluster as one {}-GPU node",
+                cfg.num_gpus, cfg.gpus_per_node
+            );
+        }
         cfg.mem_headroom_mib = get(&flags, "headroom", cfg.mem_headroom_mib);
         cfg.num_tenants = get(&flags, "tenants", cfg.num_tenants);
         if let Some(cap) = flags.get("tenant-cap") {
@@ -123,28 +162,17 @@ fn cmd_run(flags: HashMap<String, String>) {
                 usage();
             }));
         }
-        cfg.replacement = match flags.get("replacement").map(String::as_str) {
-            None | Some("lru") => ReplacementPolicy::Lru,
-            Some("fifo") => ReplacementPolicy::Fifo,
-            Some("random") => ReplacementPolicy::Random,
-            Some(other) => {
-                eprintln!("unknown replacement {other:?}");
-                usage();
-            }
-        };
+        cfg.replacement = replacement.clone();
         let m = Cluster::new(cfg, ModelRegistry::table1()).run(&trace);
         runs.push(m);
     }
     if runs.len() == 1 {
-        print_metrics(
-            &format!("{} ws{ws} seed{}", policy.name(), seeds[0]),
-            &runs[0],
-        );
+        print_metrics(&format!("{policy_name} ws{ws} seed{}", seeds[0]), &runs[0]);
     } else {
         let avg = gfaas_bench::AveragedMetrics::from_runs(&runs);
         println!(
             "{} ws{ws} over {} seeds: lat {:.3} s  miss {:.4}  false {:.4}  util {:.4}  dup {:.3}",
-            policy.name(),
+            policy_name,
             runs.len(),
             avg.avg_latency_secs,
             avg.miss_ratio,

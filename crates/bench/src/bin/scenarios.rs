@@ -6,17 +6,35 @@
 //! cargo run --release -p gfaas-bench --bin scenarios -- --smoke # CI: 1 seed, 1 minute
 //! cargo run --release -p gfaas-bench --bin scenarios -- --scale production
 //! cargo run --release -p gfaas-bench --bin scenarios -- --seeds 1,2,3
+//! # one matrix cell in isolation, on a non-default evictor:
+//! cargo run --release -p gfaas-bench --bin scenarios -- \
+//!     --policy lalbo3:25 --scenario drift --replacement tinylfu
 //! ```
 //!
-//! The `paper` rows at paper scale reproduce `fig4_comparison`'s WS 25
-//! numbers exactly (same traces, same seeds, same cluster).
+//! `--policy` and `--replacement` take registry specs (`lb`, `lalb`,
+//! `lalbo3[:limit]`; `lru`, `fifo`, `random`, `tinylfu[:decay]`);
+//! `--policy` and `--scenario` accept comma-separated lists. The `paper`
+//! rows at paper scale with default policies reproduce `fig4_comparison`'s
+//! WS 25 numbers exactly (same traces, same seeds, same cluster).
 
-use gfaas_bench::{ScenarioSuite, TablePrinter};
+use gfaas_bench::{parse_cli_spec, ScenarioSuite, SpecKind, TablePrinter};
+use gfaas_core::PolicySpec;
 use gfaas_workload::Scale;
 
 fn usage() -> ! {
-    eprintln!("usage: scenarios [--smoke] [--scale paper|production] [--seeds a,b,c]");
+    eprintln!(
+        "usage: scenarios [--smoke] [--scale paper|production] [--seeds a,b,c]\n\
+         \x20                [--policy spec[,spec...]] [--scenario name[,name...]]\n\
+         \x20                [--replacement spec]"
+    );
     std::process::exit(2);
+}
+
+fn cli_spec(s: &str, kind: SpecKind) -> PolicySpec {
+    parse_cli_spec(s, kind).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
 }
 
 fn parse_suite(args: &[String]) -> ScenarioSuite {
@@ -25,6 +43,9 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     let mut smoke = false;
     let mut scale: Option<Scale> = None;
     let mut seeds: Option<Vec<u64>> = None;
+    let mut policies: Option<Vec<PolicySpec>> = None;
+    let mut scenarios: Option<Vec<String>> = None;
+    let mut replacement: Option<PolicySpec> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,6 +73,22 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
                         .collect(),
                 );
             }
+            "--policy" => {
+                let Some(list) = it.next() else { usage() };
+                policies = Some(
+                    list.split(',')
+                        .map(|s| cli_spec(s, SpecKind::Scheduler))
+                        .collect(),
+                );
+            }
+            "--scenario" => {
+                let Some(list) = it.next() else { usage() };
+                scenarios = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--replacement" => {
+                let Some(spec) = it.next() else { usage() };
+                replacement = Some(cli_spec(spec, SpecKind::Evictor));
+            }
             _ => usage(),
         }
     }
@@ -65,6 +102,24 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     }
     if let Some(seeds) = seeds {
         suite.seeds = seeds;
+    }
+    if let Some(policies) = policies {
+        suite.policies = policies;
+    }
+    if let Some(replacement) = replacement {
+        suite.replacement = replacement;
+    }
+    if let Some(names) = scenarios {
+        let known: Vec<&str> = suite.scenarios.iter().map(|s| s.name).collect();
+        for n in &names {
+            if !known.contains(&n.as_str()) {
+                eprintln!("unknown scenario {n:?} (known: {known:?})");
+                usage();
+            }
+        }
+        suite
+            .scenarios
+            .retain(|s| names.iter().any(|n| n == s.name));
     }
     suite
 }
@@ -81,6 +136,9 @@ fn main() {
         scale.working_set,
         suite.seeds.len()
     );
+    if suite.replacement != PolicySpec::bare("lru") {
+        println!("Replacement policy: {}\n", suite.replacement);
+    }
 
     let report = suite.run();
 
@@ -131,7 +189,7 @@ fn main() {
             "{}",
             t.row(&[
                 cell.scenario.to_string(),
-                cell.policy.name(),
+                cell.policy_name.clone(),
                 format!("{:.2}", m.avg_latency_secs),
                 format!("{:.2}", m.p50_latency_secs),
                 format!("{:.2}", m.p95_latency_secs),
@@ -143,7 +201,7 @@ fn main() {
         );
     }
 
-    if scale == Scale::paper() && suite.seeds == gfaas_bench::REPORT_SEEDS {
+    if suite.is_paper_default() {
         println!("\nNote: the `paper` rows reproduce fig4_comparison's WS 25 numbers exactly.");
     }
 }

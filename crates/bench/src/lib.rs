@@ -18,9 +18,12 @@
 //! and full-experiment wall time.
 //!
 //! This library holds the shared experiment-running and table-formatting
-//! code those binaries use.
+//! code those binaries use. Policies are named by `gfaas-core` policy
+//! specs (`"lalbo3:25"`, `"tinylfu:0.9"`), so anything in the
+//! [`PolicyRegistry`](gfaas_core::PolicyRegistry) — including evictors
+//! beyond the paper's LRU — can be swept without touching this crate.
 
-use gfaas_core::{Cluster, ClusterConfig, Policy, RunMetrics};
+use gfaas_core::{Cluster, ClusterConfig, Policy, PolicySpec, RunMetrics};
 use gfaas_models::ModelRegistry;
 use gfaas_trace::{AzureTraceConfig, Trace, TraceStats};
 use gfaas_workload::{registry, Scale, Scenario};
@@ -31,6 +34,11 @@ pub const WORKING_SETS: [usize; 3] = [15, 25, 35];
 /// The three schedulers Figs 4–6 compare.
 pub fn paper_policies() -> [Policy; 3] {
     [Policy::lb(), Policy::lalb(), Policy::lalbo3()]
+}
+
+/// The paper schedulers as policy specs (the suite's default policy axis).
+pub fn paper_policy_specs() -> Vec<PolicySpec> {
+    paper_policies().map(PolicySpec::from).to_vec()
 }
 
 /// Generates the paper's workload for a working-set size and seed.
@@ -47,10 +55,20 @@ pub fn run_experiment(policy: Policy, working_set: usize, seed: u64) -> RunMetri
 
 /// Runs one experiment on a pre-generated trace.
 pub fn run_on_trace(policy: Policy, trace: &Trace) -> RunMetrics {
-    let mut cluster = Cluster::new(
-        ClusterConfig::paper_testbed(policy),
-        ModelRegistry::table1(),
-    );
+    run_spec_on_trace(&policy.into(), &PolicySpec::bare("lru"), trace)
+}
+
+/// Runs one experiment on a pre-generated trace with explicit scheduler
+/// and replacement specs (the registry-keyed path; `run_on_trace` is the
+/// enum shorthand for it).
+pub fn run_spec_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    trace: &Trace,
+) -> RunMetrics {
+    let mut cfg = ClusterConfig::paper_testbed(policy.clone());
+    cfg.replacement = replacement.clone();
+    let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
     cluster.run(trace)
 }
 
@@ -119,15 +137,18 @@ impl AveragedMetrics {
 /// A policy × scenario sweep: every registered scenario's trace is
 /// generated once per seed, every policy runs on the identical traces,
 /// and each cell reports seed-averaged metrics. The whole sweep is a pure
-/// function of (scale, seeds).
+/// function of (scale, policies, replacement, seeds).
 #[derive(Debug, Clone)]
 pub struct ScenarioSuite {
     /// Workload volume (paper / production / smoke).
     pub scale: Scale,
     /// Scenarios to sweep (defaults to the full registry).
     pub scenarios: Vec<Scenario>,
-    /// Policies to compare (defaults to the paper's three).
-    pub policies: Vec<Policy>,
+    /// Scheduler specs to compare (defaults to the paper's three).
+    pub policies: Vec<PolicySpec>,
+    /// Replacement spec every cell runs under (default `lru`; set
+    /// `"tinylfu"` etc. to sweep a different evictor).
+    pub replacement: PolicySpec,
     /// Trace realisations to average over.
     pub seeds: Vec<u64>,
 }
@@ -137,8 +158,10 @@ pub struct ScenarioSuite {
 pub struct SuiteCell {
     /// Scenario registry name.
     pub scenario: &'static str,
-    /// The policy this cell ran.
-    pub policy: Policy,
+    /// The scheduler spec this cell ran.
+    pub policy: PolicySpec,
+    /// The scheduler's display name (`LB` / `LALB` / `LALBO3` / …).
+    pub policy_name: String,
     /// Seed-averaged metrics.
     pub metrics: AveragedMetrics,
 }
@@ -161,7 +184,8 @@ impl ScenarioSuite {
         ScenarioSuite {
             scale,
             scenarios: registry(),
-            policies: paper_policies().to_vec(),
+            policies: paper_policy_specs(),
+            replacement: PolicySpec::bare("lru"),
             seeds,
         }
     }
@@ -177,10 +201,35 @@ impl ScenarioSuite {
         ScenarioSuite::new(Scale::smoke(), vec![REPORT_SEEDS[0]])
     }
 
+    /// True iff this suite is `paper_default()` unmodified — the
+    /// configuration whose `paper` rows are byte-identical to
+    /// `fig4_comparison`'s WS 25 numbers.
+    pub fn is_paper_default(&self) -> bool {
+        self.scale == Scale::paper()
+            && self.seeds == REPORT_SEEDS
+            && self.policies == paper_policy_specs()
+            && self.replacement == PolicySpec::bare("lru")
+            && self.scenarios.len() == registry().len()
+    }
+
     /// Runs the sweep. Each scenario's traces are generated once per seed
     /// and shared by every policy cell and the report's shape table, so
     /// all cells of a row see identical workloads.
+    ///
+    /// # Panics
+    /// If a policy or replacement spec does not resolve in the builtin
+    /// registry (the binaries validate specs before building a suite).
     pub fn run(&self) -> SuiteReport {
+        let policy_names: Vec<String> = {
+            let reg = gfaas_core::PolicyRegistry::builtin();
+            self.policies
+                .iter()
+                .map(|p| {
+                    reg.scheduler_name(p)
+                        .unwrap_or_else(|e| panic!("bad policy spec {p}: {e}"))
+                })
+                .collect()
+        };
         let mut scenario_stats = Vec::with_capacity(self.scenarios.len());
         let mut cells = Vec::with_capacity(self.scenarios.len() * self.policies.len());
         for sc in &self.scenarios {
@@ -192,12 +241,15 @@ impl ScenarioSuite {
             if let Some(first) = traces.first() {
                 scenario_stats.push((sc.name, first.stats()));
             }
-            for &policy in &self.policies {
-                let runs: Vec<RunMetrics> =
-                    traces.iter().map(|t| run_on_trace(policy, t)).collect();
+            for (policy, name) in self.policies.iter().zip(&policy_names) {
+                let runs: Vec<RunMetrics> = traces
+                    .iter()
+                    .map(|t| run_spec_on_trace(policy, &self.replacement, t))
+                    .collect();
                 cells.push(SuiteCell {
                     scenario: sc.name,
-                    policy,
+                    policy: policy.clone(),
+                    policy_name: name.clone(),
                     metrics: AveragedMetrics::from_runs(&runs),
                 });
             }
@@ -207,6 +259,35 @@ impl ScenarioSuite {
             cells,
         }
     }
+}
+
+/// Which [`gfaas_core::PolicyRegistry`] namespace a CLI spec names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// A scheduler spec (`lb`, `lalbo3:25`, …).
+    Scheduler,
+    /// An evictor spec (`lru`, `tinylfu:0.9`, …).
+    Evictor,
+}
+
+/// Parses a CLI-facing policy spec and validates it against the builtin
+/// registry, returning a ready-to-print error message (including the
+/// known keys) on failure. Shared by the `gfaas` and `scenarios`
+/// binaries so spec grammar and diagnostics stay in one place.
+pub fn parse_cli_spec(s: &str, kind: SpecKind) -> Result<PolicySpec, String> {
+    let reg = gfaas_core::PolicyRegistry::builtin();
+    let spec = PolicySpec::parse(s).map_err(|e| e.to_string())?;
+    match kind {
+        SpecKind::Scheduler => reg
+            .scheduler(&spec)
+            .map(drop)
+            .map_err(|e| format!("{e} (known: {:?})", reg.scheduler_keys()))?,
+        SpecKind::Evictor => reg
+            .evictor(&spec, 0)
+            .map(drop)
+            .map_err(|e| format!("{e} (known: {:?})", reg.evictor_keys()))?,
+    }
+    Ok(spec)
 }
 
 /// Relative reduction `(base - ours) / base`, formatted as the paper
@@ -276,9 +357,10 @@ mod tests {
         // for WS 25 — same traces, same cluster, bit-equal metrics.
         let mut suite = ScenarioSuite::paper_default();
         suite.scenarios.retain(|s| s.name == "paper");
-        suite.policies = vec![Policy::lalb()];
+        suite.policies = vec![Policy::lalb().into()];
         let report = suite.run();
         assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].policy_name, "LALB");
         let via_fig4 = run_replicated(Policy::lalb(), 25, &REPORT_SEEDS);
         assert_eq!(report.cells[0].metrics, via_fig4);
     }
@@ -301,6 +383,30 @@ mod tests {
             .scenario_stats
             .iter()
             .all(|(_, s)| s.total > 0 && s.minute_cv >= 0.0));
+    }
+
+    #[test]
+    fn paper_default_detection() {
+        assert!(ScenarioSuite::paper_default().is_paper_default());
+        let mut s = ScenarioSuite::paper_default();
+        s.replacement = PolicySpec::bare("tinylfu");
+        assert!(!s.is_paper_default());
+        let mut s = ScenarioSuite::paper_default();
+        s.policies = vec![Policy::lalbo3().into()];
+        assert!(!s.is_paper_default());
+        assert!(!ScenarioSuite::smoke().is_paper_default());
+    }
+
+    #[test]
+    fn spec_and_enum_paths_agree_on_a_trace() {
+        let trace = paper_trace(15, 7);
+        let via_enum = run_on_trace(Policy::lalbo3(), &trace);
+        let via_spec = run_spec_on_trace(
+            &"lalbo3:25".parse().unwrap(),
+            &"lru".parse().unwrap(),
+            &trace,
+        );
+        assert_eq!(via_enum, via_spec);
     }
 
     #[test]

@@ -1,23 +1,34 @@
-//! The global Cache Manager (paper §III-D).
+//! The global Cache Manager (paper §III-D) and the open [`Evictor`] API.
 //!
 //! Models uploaded to GPU memory are cache items. The manager keeps one
-//! recency list per GPU (LRU by default; FIFO and random are available for
-//! the §VI replacement-policy ablation) plus a global model→GPUs residency
-//! index. On a miss it selects victims from the target GPU's list until the
-//! incoming model fits; the paper's GPU Manager then kills the victims'
-//! processes.
+//! replacement-policy bookkeeping list per GPU plus a global model→GPUs
+//! residency index. On a miss it asks its [`Evictor`] for victims from the
+//! target GPU's list until the incoming model fits; the paper's GPU Manager
+//! then kills the victims' processes.
 //!
 //! The residency index is the §VI scalability structure: "the Cache
 //! Manager maintains the lists of GPUs where each model is cached", which
 //! bounds the scheduler's per-request search by the number of replicas
 //! rather than the cluster size.
+//!
+//! # Replacement as an open trait
+//!
+//! Eviction behaviour is pluggable: anything implementing [`Evictor`] can
+//! drive replacement. The paper's three policies ship as
+//! [`LruEvictor`] (default), [`FifoEvictor`], and [`RandomEvictor`]; the
+//! frequency-decay policy lives in [`crate::tinylfu::TinyLfuEvictor`]. The
+//! [`ReplacementPolicy`] enum survives as a thin constructor over those
+//! impls so existing configs and figures are untouched, and string specs
+//! (`"lru"`, `"tinylfu:0.9"`) resolve through
+//! [`crate::policy::PolicyRegistry`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use gfaas_gpu::{GpuId, ModelId};
 use gfaas_sim::rng::DetRng;
 
-/// Which item a GPU's list evicts first.
+/// Which item a GPU's list evicts first — the paper's closed policy set,
+/// kept as a thin constructor facade over the [`Evictor`] impls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplacementPolicy {
     /// Least recently *used* (the paper's default).
@@ -28,45 +39,261 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// Per-GPU cache state.
+impl ReplacementPolicy {
+    /// Builds the trait-object evictor this enum variant names. The seed
+    /// only matters for [`ReplacementPolicy::Random`].
+    pub fn build(self, seed: u64) -> Box<dyn Evictor> {
+        match self {
+            ReplacementPolicy::Lru => Box::new(LruEvictor::default()),
+            ReplacementPolicy::Fifo => Box::new(FifoEvictor::default()),
+            ReplacementPolicy::Random => Box::new(RandomEvictor::new(seed)),
+        }
+    }
+}
+
+/// A cache replacement policy: per-GPU victim selection with full view of
+/// insert/hit/remove events.
+///
+/// The [`CacheManager`] owns the residency index and the greedy
+/// make-room loop; the evictor owns per-GPU ordering state and answers
+/// one question — *which resident model dies next* ([`Evictor::pick_victim`],
+/// called repeatedly until enough bytes are reclaimed).
+///
+/// Implementations must be deterministic for a given construction (any
+/// randomness must come from an owned, seeded generator) so simulation
+/// runs stay reproducible.
+pub trait Evictor: std::fmt::Debug + Send {
+    /// Registry-style key for reports (`"lru"`, `"tinylfu"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Called once per GPU before any traffic, so per-GPU state exists.
+    fn attach_gpu(&mut self, gpu: GpuId);
+
+    /// `model` was uploaded to `gpu` (it enters the GPU's list hottest).
+    fn on_insert(&mut self, gpu: GpuId, model: ModelId);
+
+    /// `model` served a cache hit on `gpu`.
+    fn on_hit(&mut self, gpu: GpuId, model: ModelId);
+
+    /// `model` left `gpu` (evicted, or its process died).
+    fn on_remove(&mut self, gpu: GpuId, model: ModelId);
+
+    /// The models resident on `gpu` in this policy's bookkeeping order
+    /// (coldest first for the recency/insertion-list policies). This is
+    /// the candidate list [`CacheManager::select_victims`] offers to
+    /// [`Evictor::pick_victim`] and what [`CacheManager::resident`]
+    /// reports; only for prefix-picking policies (LRU/FIFO) is it also
+    /// the exact eviction order.
+    fn order(&self, gpu: GpuId) -> Vec<ModelId>;
+
+    /// Chooses the next victim among `candidates` (a subset of
+    /// [`Evictor::order`], pinned models already removed). Returns `None`
+    /// when no candidate may be evicted. Called repeatedly by
+    /// [`CacheManager::select_victims`] with already-picked victims
+    /// removed from `candidates`.
+    fn pick_victim(&mut self, gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId>;
+}
+
+/// Per-GPU ordered model lists — the bookkeeping every builtin evictor
+/// shares. Front = next victim, back = most recently inserted/used.
 #[derive(Debug, Clone, Default)]
-struct GpuCache {
-    /// Recency order: front = coldest (next victim under LRU), back = most
-    /// recently used. Under FIFO the order is insertion order and `touch`
-    /// leaves it unchanged.
-    order: VecDeque<ModelId>,
+pub(crate) struct OrderLists {
+    per_gpu: BTreeMap<GpuId, VecDeque<ModelId>>,
+}
+
+impl OrderLists {
+    pub(crate) fn attach(&mut self, gpu: GpuId) {
+        self.per_gpu.entry(gpu).or_default();
+    }
+
+    pub(crate) fn push_hot(&mut self, gpu: GpuId, model: ModelId) {
+        self.per_gpu
+            .get_mut(&gpu)
+            .expect("unknown GPU")
+            .push_back(model);
+    }
+
+    /// Moves `model` to the hot end (LRU touch).
+    pub(crate) fn touch(&mut self, gpu: GpuId, model: ModelId) {
+        let order = self.per_gpu.get_mut(&gpu).expect("unknown GPU");
+        if let Some(pos) = order.iter().position(|&m| m == model) {
+            order.remove(pos);
+            order.push_back(model);
+        }
+    }
+
+    pub(crate) fn remove(&mut self, gpu: GpuId, model: ModelId) {
+        if let Some(order) = self.per_gpu.get_mut(&gpu) {
+            if let Some(pos) = order.iter().position(|&m| m == model) {
+                order.remove(pos);
+            }
+        }
+    }
+
+    pub(crate) fn order(&self, gpu: GpuId) -> Vec<ModelId> {
+        self.per_gpu
+            .get(&gpu)
+            .map(|o| o.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Least-recently-used eviction (the paper's default).
+#[derive(Debug, Clone, Default)]
+pub struct LruEvictor {
+    lists: OrderLists,
+}
+
+impl Evictor for LruEvictor {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn attach_gpu(&mut self, gpu: GpuId) {
+        self.lists.attach(gpu);
+    }
+
+    fn on_insert(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.push_hot(gpu, model);
+    }
+
+    fn on_hit(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.touch(gpu, model);
+    }
+
+    fn on_remove(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.remove(gpu, model);
+    }
+
+    fn order(&self, gpu: GpuId) -> Vec<ModelId> {
+        self.lists.order(gpu)
+    }
+
+    fn pick_victim(&mut self, _gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+        candidates.first().copied() // coldest first
+    }
+}
+
+/// First-in-first-out eviction: insertion order, use ignored.
+#[derive(Debug, Clone, Default)]
+pub struct FifoEvictor {
+    lists: OrderLists,
+}
+
+impl Evictor for FifoEvictor {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn attach_gpu(&mut self, gpu: GpuId) {
+        self.lists.attach(gpu);
+    }
+
+    fn on_insert(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.push_hot(gpu, model);
+    }
+
+    fn on_hit(&mut self, _gpu: GpuId, _model: ModelId) {}
+
+    fn on_remove(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.remove(gpu, model);
+    }
+
+    fn order(&self, gpu: GpuId) -> Vec<ModelId> {
+        self.lists.order(gpu)
+    }
+
+    fn pick_victim(&mut self, _gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+        candidates.first().copied() // oldest insertion first
+    }
+}
+
+/// Uniformly random eviction (the §VI ablation baseline). Deterministic
+/// per seed.
+#[derive(Debug, Clone)]
+pub struct RandomEvictor {
+    lists: OrderLists,
+    rng: DetRng,
+}
+
+impl RandomEvictor {
+    /// A random evictor drawing from a deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        RandomEvictor {
+            lists: OrderLists::default(),
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl Evictor for RandomEvictor {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn attach_gpu(&mut self, gpu: GpuId) {
+        self.lists.attach(gpu);
+    }
+
+    fn on_insert(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.push_hot(gpu, model);
+    }
+
+    fn on_hit(&mut self, _gpu: GpuId, _model: ModelId) {}
+
+    fn on_remove(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.remove(gpu, model);
+    }
+
+    fn order(&self, gpu: GpuId) -> Vec<ModelId> {
+        self.lists.order(gpu)
+    }
+
+    fn pick_victim(&mut self, _gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+        self.rng.choose(candidates).copied()
+    }
 }
 
 /// The global cache manager.
 #[derive(Debug)]
 pub struct CacheManager {
-    policy: ReplacementPolicy,
-    per_gpu: BTreeMap<GpuId, GpuCache>,
+    evictor: Box<dyn Evictor>,
     residency: BTreeMap<ModelId, BTreeSet<GpuId>>,
-    rng: DetRng,
     evictions: u64,
 }
 
 impl CacheManager {
-    /// A manager over `gpus` with the given policy. The RNG only matters
-    /// for [`ReplacementPolicy::Random`].
+    /// A manager over `gpus` with one of the paper's closed policies (the
+    /// compat path). The RNG seed only matters for
+    /// [`ReplacementPolicy::Random`].
     pub fn new(
         gpus: impl IntoIterator<Item = GpuId>,
         policy: ReplacementPolicy,
         seed: u64,
     ) -> Self {
+        CacheManager::with_evictor(gpus, policy.build(seed))
+    }
+
+    /// A manager over `gpus` driven by an arbitrary [`Evictor`] — the open
+    /// path; string specs resolve here via
+    /// [`crate::policy::PolicyRegistry::evictor`].
+    pub fn with_evictor(
+        gpus: impl IntoIterator<Item = GpuId>,
+        mut evictor: Box<dyn Evictor>,
+    ) -> Self {
+        for gpu in gpus {
+            evictor.attach_gpu(gpu);
+        }
         CacheManager {
-            policy,
-            per_gpu: gpus.into_iter().map(|g| (g, GpuCache::default())).collect(),
+            evictor,
             residency: BTreeMap::new(),
-            rng: DetRng::new(seed),
             evictions: 0,
         }
     }
 
-    /// The active replacement policy.
-    pub fn policy(&self) -> ReplacementPolicy {
-        self.policy
+    /// The active evictor's registry key (`"lru"`, `"tinylfu"`, …).
+    pub fn evictor_name(&self) -> &'static str {
+        self.evictor.name()
     }
 
     /// True iff `model` is resident on `gpu`.
@@ -94,45 +321,33 @@ impl CacheManager {
         self.replica_count(model) > 0
     }
 
-    /// The models resident on `gpu`, coldest first.
+    /// The models resident on `gpu` in the evictor's bookkeeping order
+    /// (coldest first under LRU — and for LRU/FIFO that is exactly the
+    /// eviction order; frequency/random evictors pick victims out of this
+    /// order).
     pub fn resident(&self, gpu: GpuId) -> Vec<ModelId> {
-        self.per_gpu
-            .get(&gpu)
-            .map(|c| c.order.iter().copied().collect())
-            .unwrap_or_default()
+        self.evictor.order(gpu)
     }
 
     /// Records that `model` was uploaded to `gpu` (inserted hottest).
     pub fn insert(&mut self, gpu: GpuId, model: ModelId) {
-        let cache = self.per_gpu.get_mut(&gpu).expect("unknown GPU");
         debug_assert!(
-            !cache.order.contains(&model),
+            !self.is_cached(gpu, model),
             "{model} already cached on {gpu}"
         );
-        cache.order.push_back(model);
+        self.evictor.on_insert(gpu, model);
         self.residency.entry(model).or_default().insert(gpu);
     }
 
     /// Records a use of `model` on `gpu`. Under LRU this moves the model to
-    /// the hot end; under FIFO/random it is a no-op on the order.
+    /// the hot end; TinyLFU bumps its frequency; FIFO/random ignore it.
     pub fn touch(&mut self, gpu: GpuId, model: ModelId) {
-        if self.policy != ReplacementPolicy::Lru {
-            return;
-        }
-        let cache = self.per_gpu.get_mut(&gpu).expect("unknown GPU");
-        if let Some(pos) = cache.order.iter().position(|&m| m == model) {
-            cache.order.remove(pos);
-            cache.order.push_back(model);
-        }
+        self.evictor.on_hit(gpu, model);
     }
 
     /// Removes `model` from `gpu`'s cache state (after its process died).
     pub fn remove(&mut self, gpu: GpuId, model: ModelId) {
-        if let Some(cache) = self.per_gpu.get_mut(&gpu) {
-            if let Some(pos) = cache.order.iter().position(|&m| m == model) {
-                cache.order.remove(pos);
-            }
-        }
+        self.evictor.on_remove(gpu, model);
         if let Some(gpus) = self.residency.get_mut(&model) {
             gpus.remove(&gpu);
             if gpus.is_empty() {
@@ -147,7 +362,9 @@ impl CacheManager {
     /// processes. `size_of` maps a model to its occupancy.
     ///
     /// `pinned` models (e.g. the one a queued local request needs) are
-    /// never chosen. Returns `None` if the space cannot be assembled.
+    /// never offered to the evictor. Returns `None` if the space cannot be
+    /// assembled; failure leaves residency untouched (the evictor may have
+    /// advanced an internal RNG).
     pub fn select_victims(
         &mut self,
         gpu: GpuId,
@@ -159,27 +376,24 @@ impl CacheManager {
         if free >= need {
             return Some(Vec::new());
         }
-        // Work on a copy so failure leaves the state untouched.
-        let order: Vec<ModelId> = self.resident(gpu);
-        let mut candidates: Vec<ModelId> = order
-            .iter()
-            .copied()
+        // Pick into a working copy so failure leaves the state untouched.
+        let mut candidates: Vec<ModelId> = self
+            .evictor
+            .order(gpu)
+            .into_iter()
             .filter(|m| !pinned.contains(m))
             .collect();
-        if self.policy == ReplacementPolicy::Random {
-            self.rng.shuffle(&mut candidates);
-        }
         let mut reclaimed = free;
         let mut victims = Vec::new();
-        for m in candidates {
-            if reclaimed >= need {
-                break;
-            }
+        while reclaimed < need {
+            let m = self.evictor.pick_victim(gpu, &candidates)?;
+            let pos = candidates
+                .iter()
+                .position(|&c| c == m)
+                .expect("evictor picked a non-candidate");
+            candidates.remove(pos);
             reclaimed += size_of(m);
             victims.push(m);
-        }
-        if reclaimed < need {
-            return None;
         }
         for &m in &victims {
             self.remove(gpu, m);
@@ -195,7 +409,7 @@ impl CacheManager {
 
     /// Total resident (gpu, model) pairs across the cluster.
     pub fn total_resident(&self) -> usize {
-        self.per_gpu.values().map(|c| c.order.len()).sum()
+        self.residency.values().map(|s| s.len()).sum()
     }
 }
 
@@ -343,5 +557,62 @@ mod tests {
         let v = m.select_victims(G0, 100, 0, |_| 100, &[]).unwrap();
         assert_eq!(v, vec![A]);
         assert!(m.is_cached(G1, B));
+    }
+
+    #[test]
+    fn enum_constructor_matches_direct_evictor_injection() {
+        // The compat path (`ReplacementPolicy::Lru`) and the open path
+        // (`with_evictor`) must drive identical state.
+        let mut a = CacheManager::new([G0], ReplacementPolicy::Lru, 9);
+        let mut b = CacheManager::with_evictor([G0], Box::new(LruEvictor::default()));
+        for m in [&mut a, &mut b] {
+            m.insert(G0, A);
+            m.insert(G0, B);
+            m.touch(G0, A);
+        }
+        assert_eq!(a.resident(G0), b.resident(G0));
+        assert_eq!(
+            a.select_victims(G0, 100, 0, |_| 100, &[]),
+            b.select_victims(G0, 100, 0, |_| 100, &[])
+        );
+        assert_eq!(a.evictor_name(), "lru");
+    }
+
+    #[test]
+    fn custom_evictor_plugs_in() {
+        /// Evicts the *largest* model id first — trivially not a builtin.
+        #[derive(Debug, Default)]
+        struct BiggestIdFirst {
+            lists: OrderLists,
+        }
+        impl Evictor for BiggestIdFirst {
+            fn name(&self) -> &'static str {
+                "biggest-id"
+            }
+            fn attach_gpu(&mut self, gpu: GpuId) {
+                self.lists.attach(gpu);
+            }
+            fn on_insert(&mut self, gpu: GpuId, model: ModelId) {
+                self.lists.push_hot(gpu, model);
+            }
+            fn on_hit(&mut self, _gpu: GpuId, _model: ModelId) {}
+            fn on_remove(&mut self, gpu: GpuId, model: ModelId) {
+                self.lists.remove(gpu, model);
+            }
+            fn order(&self, gpu: GpuId) -> Vec<ModelId> {
+                self.lists.order(gpu)
+            }
+            fn pick_victim(&mut self, _gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+                candidates.iter().copied().max()
+            }
+        }
+
+        let mut m = CacheManager::with_evictor([G0], Box::new(BiggestIdFirst::default()));
+        m.insert(G0, A);
+        m.insert(G0, B);
+        m.insert(G0, C);
+        let victims = m.select_victims(G0, 200, 0, |_| 100, &[]).unwrap();
+        assert_eq!(victims, vec![C, B], "largest ids evicted first");
+        assert_eq!(m.evictor_name(), "biggest-id");
     }
 }

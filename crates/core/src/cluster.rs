@@ -17,12 +17,13 @@
 //! * a pass runs "when at least one request is waiting in the global queue
 //!   and at least one GPU is idle" — and additionally whenever an idle
 //!   GPU has local-queue work, which Algorithm 1 always serves first;
-//! * idle GPUs are visited in frequency order (hit count, then id) for the
-//!   locality-aware policies and longest-idle order for LB;
-//! * Algorithm 1's visit counters enforce the O3 starvation limit;
-//! * Algorithm 2 (`LocalityLoadBalance`) decides miss-here / hit-elsewhere
-//!   / wait-on-busy by comparing the busy holder's estimated finish time
-//!   against the model's load time.
+//! * the active [`SchedulerPolicy`] orders the idle GPUs (frequency order
+//!   for the locality-aware policies, longest-idle for LB) and answers
+//!   one [`Dispatch`] per idle GPU through a borrowed [`SchedCtx`] view
+//!   of the queue/residency/finish-time state;
+//! * Algorithm 1's visit counters and Algorithm 2's hit-elsewhere /
+//!   wait-on-busy arms live in the policy impls
+//!   (see [`crate::scheduler`]).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -34,12 +35,13 @@ use gfaas_sim::event::EventQueue;
 use gfaas_sim::time::{SimDuration, SimTime};
 use gfaas_trace::Trace;
 
-use crate::cache::CacheManager;
-use crate::config::ClusterConfig;
+use crate::cache::{CacheManager, Evictor};
+use crate::config::{BusyWaitPolicy, ClusterConfig, ConfigError};
 use crate::gpu_manager::{lru_key, status_key, GpuUnit, InFlight, Phase};
 use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::policy::PolicyRegistry;
 use crate::request::Request;
-use crate::scheduler::Policy;
+use crate::scheduler::{Dispatch, SchedulerPolicy};
 
 /// Discrete events driving the cluster.
 ///
@@ -63,6 +65,9 @@ pub struct Cluster {
     registry: ModelRegistry,
     units: Vec<GpuUnit>,
     cache: CacheManager,
+    /// The active scheduling policy. Taken out during a pass so the
+    /// policy can borrow the cluster through [`SchedCtx`].
+    sched: Option<Box<dyn SchedulerPolicy>>,
     global_queue: VecDeque<Request>,
     metrics: MetricsCollector,
     now: SimTime,
@@ -76,15 +81,36 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds a cluster from a config and a model registry.
+    /// Builds a cluster from a config and a model registry, resolving the
+    /// config's policy specs through the builtin [`PolicyRegistry`].
+    ///
+    /// # Panics
+    /// On an invalid config (see [`ClusterConfig::validate`]) or an
+    /// unresolvable policy spec; use [`Cluster::try_new`] for a `Result`.
     pub fn new(config: ClusterConfig, registry: ModelRegistry) -> Self {
-        if let Some(specs) = &config.hetero_specs {
-            assert_eq!(
-                specs.len(),
-                config.num_gpus,
-                "hetero_specs length must equal num_gpus"
-            );
-        }
+        Cluster::try_new(config, registry).unwrap_or_else(|e| panic!("invalid cluster config: {e}"))
+    }
+
+    /// Builds a cluster from a config and a model registry, resolving the
+    /// config's policy specs through the builtin [`PolicyRegistry`].
+    pub fn try_new(config: ClusterConfig, registry: ModelRegistry) -> Result<Self, ConfigError> {
+        let policies = PolicyRegistry::builtin();
+        let sched = policies.scheduler(&config.policy)?;
+        let evictor = policies.evictor(&config.replacement, config.seed)?;
+        Cluster::with_policies(config, registry, sched, evictor)
+    }
+
+    /// Builds a cluster around explicitly constructed policy objects —
+    /// the open path for policies living outside the builtin registry.
+    /// The config's `policy`/`replacement` specs are ignored in favour of
+    /// the given objects.
+    pub fn with_policies(
+        config: ClusterConfig,
+        registry: ModelRegistry,
+        sched: Box<dyn SchedulerPolicy>,
+        evictor: Box<dyn Evictor>,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         let units: Vec<GpuUnit> = (0..config.num_gpus)
             .map(|i| {
                 let spec = config
@@ -95,17 +121,14 @@ impl Cluster {
                 GpuUnit::new(GpuDevice::new(GpuId(i as u16), spec))
             })
             .collect();
-        let cache = CacheManager::new(
-            units.iter().map(|u| u.id()),
-            config.replacement,
-            config.seed,
-        );
+        let cache = CacheManager::with_evictor(units.iter().map(|u| u.id()), evictor);
         let rng = gfaas_sim::rng::DetRng::new(config.seed ^ 0xc4a5);
-        Cluster {
+        Ok(Cluster {
             config,
             registry,
             units,
             cache,
+            sched: Some(sched),
             global_queue: VecDeque::new(),
             metrics: MetricsCollector::new(),
             now: SimTime::ZERO,
@@ -116,7 +139,7 @@ impl Cluster {
             dispatch_seq: 0,
             rng,
             datastore: None,
-        }
+        })
     }
 
     /// Attaches a datastore; the cluster then mirrors GPU status, LRU
@@ -141,6 +164,16 @@ impl Cluster {
     /// The model registry in use.
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The active scheduler's display name.
+    pub fn scheduler_name(&self) -> String {
+        self.sched.as_ref().expect("scheduler in place").name()
+    }
+
+    /// The active evictor's registry key.
+    pub fn evictor_name(&self) -> &'static str {
+        self.cache.evictor_name()
     }
 
     /// Requests moved to busy GPUs' local queues over the run.
@@ -367,210 +400,58 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
-    // Scheduling (paper §IV, Algorithms 1 and 2)
+    // Scheduling (paper §IV; the algorithms live in the policy impls)
     // ------------------------------------------------------------------
 
-    /// Runs scheduling iterations until no dispatch is possible.
+    /// Runs scheduling iterations until no dispatch is possible. The
+    /// structure (pass loop, local-queue priority, idle filtering) is the
+    /// driver's; every placement decision is the policy's.
     fn schedule_pass(&mut self, events: &mut EventQueue<Event>) {
+        let mut sched = self.sched.take().expect("scheduler in place");
         loop {
-            let idle = self.idle_order();
+            // Idle GPUs with work available to them, Algorithm 1's input.
+            let mut idle: Vec<GpuId> = self
+                .units
+                .iter()
+                .filter(|u| u.is_idle())
+                .filter(|u| !u.local_queue.is_empty() || !self.global_queue.is_empty())
+                .map(|u| u.id())
+                .collect();
             if idle.is_empty() {
                 break;
             }
-            let mut progress = false;
-            for gi in idle {
-                if !self.units[gi].is_idle() {
+            let mut ctx = SchedCtx {
+                cluster: self,
+                events,
+                progress: false,
+            };
+            sched.idle_order(&ctx, &mut idle);
+            for g in idle {
+                let gi = g.0 as usize;
+                if !ctx.cluster.units[gi].is_idle() {
                     continue; // became busy earlier in this iteration
                 }
                 // Algorithm 1 lines 2–5: the local queue has priority.
-                if let Some(r) = self.units[gi].local_queue.pop_front() {
+                if let Some(r) = ctx.cluster.units[gi].local_queue.pop_front() {
                     debug_assert!(
-                        self.cache.is_cached(self.units[gi].id(), r.model),
+                        ctx.cluster.cache.is_cached(g, r.model),
                         "local-queue request's model must be resident"
                     );
-                    self.execute_hit(gi, r, events);
-                    progress = true;
+                    ctx.cluster.execute_hit(gi, r, ctx.events);
+                    ctx.progress = true;
                     continue;
                 }
-                if self.global_queue.is_empty() {
+                if ctx.cluster.global_queue.is_empty() {
                     continue;
                 }
-                progress |= match self.config.policy {
-                    Policy::LoadBalance => self.lb_dispatch(gi, events),
-                    Policy::Lalb { o3_limit } => self.lalb_dispatch(gi, o3_limit, events),
-                };
+                let dispatch = sched.on_gpu_idle(g, &mut ctx);
+                ctx.apply(g, dispatch);
             }
-            if !progress {
+            if !ctx.progress {
                 break;
             }
         }
-    }
-
-    /// Idle GPUs in the order Algorithm 1 visits them.
-    fn idle_order(&self) -> Vec<usize> {
-        let mut idle: Vec<usize> = (0..self.units.len())
-            .filter(|&i| self.units[i].is_idle())
-            .filter(|&i| !self.units[i].local_queue.is_empty() || !self.global_queue.is_empty())
-            .collect();
-        match self.config.policy {
-            // "The list of idle GPUs (sorted by frequency)": GPUs serving
-            // more hits first, so hot caches are matched before cold ones.
-            Policy::Lalb { .. } => {
-                idle.sort_by(|&a, &b| self.units[b].hits.cmp(&self.units[a].hits).then(a.cmp(&b)));
-            }
-            // LB: longest idle first (pure load spreading).
-            Policy::LoadBalance => {
-                idle.sort_by(|&a, &b| {
-                    self.units[a]
-                        .idle_since
-                        .cmp(&self.units[b].idle_since)
-                        .then(a.cmp(&b))
-                });
-            }
-        }
-        idle
-    }
-
-    /// LB baseline: head of the global queue to this GPU, locality ignored.
-    fn lb_dispatch(&mut self, gi: usize, events: &mut EventQueue<Event>) -> bool {
-        let Some(head) = self.global_queue.front() else {
-            return false;
-        };
-        if self.tenant_blocked(head.tenant) {
-            return false; // §VI isolation: the head's tenant is at its cap
-        }
-        let r = self.global_queue.pop_front().expect("checked non-empty");
-        if self.cache.is_cached(self.units[gi].id(), r.model) {
-            self.execute_hit(gi, r, events);
-        } else {
-            self.execute_miss(gi, r, events);
-        }
-        true
-    }
-
-    /// Algorithm 1 for one idle GPU. Returns true if any dispatch or
-    /// local-queue move happened.
-    fn lalb_dispatch(&mut self, gi: usize, o3_limit: u32, events: &mut EventQueue<Event>) -> bool {
-        let g = self.units[gi].id();
-        let mut progress = false;
-
-        // Lines 6–16: scan the global queue in arrival order for a request
-        // whose model is cached on this GPU; skipped requests accumulate
-        // visits, and a request at the limit is placed immediately.
-        let mut i = 0;
-        while i < self.global_queue.len() {
-            if !self.units[gi].is_idle() {
-                return progress; // this GPU got work via LocalityLoadBalance
-            }
-            if self.tenant_blocked(self.global_queue[i].tenant) {
-                // §VI isolation: capped tenants are passed over without
-                // O3 visit accounting (they are blocked, not skipped).
-                i += 1;
-                continue;
-            }
-            let model = self.global_queue[i].model;
-            if self.cache.is_cached(g, model) {
-                let r = self.global_queue.remove(i).expect("index in bounds");
-                self.execute_hit(gi, r, events);
-                return true;
-            }
-            if self.global_queue[i].visits >= o3_limit {
-                let r = self.global_queue.remove(i).expect("index in bounds");
-                let here = self.locality_load_balance(gi, r, events);
-                progress = true;
-                if here {
-                    return true;
-                }
-                // r went to another GPU or a local queue; the element at
-                // index i is now the next request — do not advance i.
-            } else {
-                self.global_queue[i].visits += 1;
-                i += 1;
-            }
-        }
-
-        // Lines 17–21: no queued request has its model cached here; give
-        // each request (arrival order) its best placement until this GPU
-        // receives one. Capped tenants stay queued.
-        let mut i = 0;
-        while i < self.global_queue.len() {
-            if !self.units[gi].is_idle() {
-                return progress;
-            }
-            if self.tenant_blocked(self.global_queue[i].tenant) {
-                i += 1;
-                continue;
-            }
-            let r = self.global_queue.remove(i).expect("index in bounds");
-            let here = self.locality_load_balance(gi, r, events);
-            progress = true;
-            if here {
-                return true;
-            }
-        }
-        progress
-    }
-
-    /// Algorithm 2. Places `r`, preferring (1) a miss on `gi` if the model
-    /// is cached nowhere, (2) a hit on another idle GPU, (3) the local
-    /// queue of the busy holder with the smallest estimated wait when that
-    /// wait beats the model's load time, (4) otherwise a miss on `gi`.
-    /// Returns true iff the request was dispatched to `gi` itself.
-    fn locality_load_balance(
-        &mut self,
-        gi: usize,
-        r: Request,
-        events: &mut EventQueue<Event>,
-    ) -> bool {
-        let holders = self.cache.gpus_with(r.model);
-        if holders.is_empty() {
-            // Line 1–3: cached nowhere → allow the miss here.
-            self.execute_miss(gi, r, events);
-            return true;
-        }
-        // Lines 4–6: cached on another idle GPU → hit there.
-        if let Some(&j) = holders
-            .iter()
-            .find(|&&j| j != self.units[gi].id() && self.units[j.0 as usize].is_idle())
-        {
-            let ji = j.0 as usize;
-            debug_assert!(
-                self.units[ji].local_queue.is_empty(),
-                "idle GPUs have drained local queues"
-            );
-            self.execute_hit(ji, r, events);
-            return false;
-        }
-        // Lines 8–15: cached only on busy GPUs. Compare the best holder's
-        // estimated finish time against the load time of a cold start.
-        // `busy_wait` ablates this decision (DESIGN.md §4).
-        let load_time = self.load_time_on(gi, r.model);
-        let best = holders
-            .iter()
-            .map(|&j| {
-                let ji = j.0 as usize;
-                let scale = self.units[ji].device.spec().compute_scale;
-                let registry = &self.registry;
-                let wait = self.units[ji]
-                    .estimated_wait(self.now, |m, b| registry.infer_time(m, b).mul_f64(scale));
-                (wait, j)
-            })
-            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        if let Some((wait, j)) = best {
-            let join_queue = match self.config.busy_wait {
-                crate::config::BusyWaitPolicy::Estimate => wait < load_time,
-                crate::config::BusyWaitPolicy::Never => false,
-                crate::config::BusyWaitPolicy::Always => true,
-            };
-            if join_queue {
-                self.units[j.0 as usize].local_queue.push_back(r);
-                self.local_moves += 1;
-                return false;
-            }
-        }
-        // Lines 16–18: the busy hit would be slower → allow the miss here.
-        self.execute_miss(gi, r, events);
-        true
+        self.sched = Some(sched);
     }
 
     // ------------------------------------------------------------------
@@ -704,9 +585,152 @@ impl Cluster {
     }
 }
 
+/// The borrowed cluster view a [`SchedulerPolicy`] works through during a
+/// scheduling pass: read access to the global queue, GPU/cache/finish-time
+/// state, plus the two Algorithm 2 placement commands that execute on
+/// *other* GPUs ([`SchedCtx::dispatch_hit`], [`SchedCtx::enqueue_local`]).
+pub struct SchedCtx<'a> {
+    cluster: &'a mut Cluster,
+    events: &'a mut EventQueue<Event>,
+    progress: bool,
+}
+
+impl SchedCtx<'_> {
+    // --- global queue -------------------------------------------------
+
+    /// Requests currently waiting in the global queue.
+    pub fn queue_len(&self) -> usize {
+        self.cluster.global_queue.len()
+    }
+
+    /// The queued request at position `i` (0 = head, arrival order).
+    pub fn queued(&self, i: usize) -> &Request {
+        &self.cluster.global_queue[i]
+    }
+
+    /// Removes and returns the queued request at position `i` for
+    /// dispatch.
+    pub fn take_queued(&mut self, i: usize) -> Request {
+        self.cluster
+            .global_queue
+            .remove(i)
+            .expect("index in bounds")
+    }
+
+    /// Records that the request at position `i` was passed over by
+    /// out-of-order dispatch (Algorithm 1's visit counter).
+    pub fn note_skip(&mut self, i: usize) {
+        self.cluster.global_queue[i].visits += 1;
+    }
+
+    /// True iff §VI isolation forbids dispatching more work for `tenant`.
+    pub fn tenant_blocked(&self, tenant: u16) -> bool {
+        self.cluster.tenant_blocked(tenant)
+    }
+
+    // --- GPU state ----------------------------------------------------
+
+    /// True iff `gpu` has no request in flight.
+    pub fn is_idle(&self, gpu: GpuId) -> bool {
+        self.cluster.units[gpu.0 as usize].is_idle()
+    }
+
+    /// Cache hits `gpu` has served (Algorithm 1's frequency ordering key).
+    pub fn hits(&self, gpu: GpuId) -> u64 {
+        self.cluster.units[gpu.0 as usize].hits
+    }
+
+    /// When `gpu` last became idle (LB's longest-idle ordering key).
+    pub fn idle_since(&self, gpu: GpuId) -> SimTime {
+        self.cluster.units[gpu.0 as usize].idle_since
+    }
+
+    /// Estimated time until `gpu` drains its in-flight request and local
+    /// queue (the paper's finish-time estimate), on this GPU's own
+    /// compute profile.
+    pub fn estimated_wait(&self, gpu: GpuId) -> SimDuration {
+        let gi = gpu.0 as usize;
+        let scale = self.cluster.units[gi].device.spec().compute_scale;
+        let registry = &self.cluster.registry;
+        self.cluster.units[gi].estimated_wait(self.cluster.now, |m, b| {
+            registry.infer_time(m, b).mul_f64(scale)
+        })
+    }
+
+    /// Time to upload `model` onto `gpu` (scaled by its PCIe profile).
+    pub fn load_time(&self, gpu: GpuId, model: ModelId) -> SimDuration {
+        self.cluster.load_time_on(gpu.0 as usize, model)
+    }
+
+    // --- cache state --------------------------------------------------
+
+    /// True iff `model` is resident on `gpu`.
+    pub fn is_cached(&self, gpu: GpuId, model: ModelId) -> bool {
+        self.cluster.cache.is_cached(gpu, model)
+    }
+
+    /// GPUs currently holding `model`, in id order (the §VI replica list).
+    pub fn holders(&self, model: ModelId) -> Vec<GpuId> {
+        self.cluster.cache.gpus_with(model)
+    }
+
+    // --- config / time ------------------------------------------------
+
+    /// Algorithm 2's busy-holder handling (ablation knob).
+    pub fn busy_wait(&self) -> BusyWaitPolicy {
+        self.cluster.config.busy_wait
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.cluster.now
+    }
+
+    // --- placement commands (execute immediately) ---------------------
+
+    /// Dispatches `r` as a cache hit on idle GPU `gpu` (Algorithm 2's
+    /// hit-elsewhere arm). Executes immediately so later decisions in the
+    /// same pass see `gpu` busy.
+    pub fn dispatch_hit(&mut self, gpu: GpuId, r: Request) {
+        let gi = gpu.0 as usize;
+        debug_assert!(
+            self.cluster.units[gi].local_queue.is_empty(),
+            "idle GPUs have drained local queues"
+        );
+        self.cluster.execute_hit(gi, r, self.events);
+        self.progress = true;
+    }
+
+    /// Appends `r` to busy GPU `gpu`'s local queue (Algorithm 2's
+    /// wait-on-busy arm). Executes immediately so later finish-time
+    /// estimates in the same pass include `r`.
+    pub fn enqueue_local(&mut self, gpu: GpuId, r: Request) {
+        self.cluster.units[gpu.0 as usize].local_queue.push_back(r);
+        self.cluster.local_moves += 1;
+        self.progress = true;
+    }
+
+    /// Executes a policy's dispatch for `gpu` (driver-internal).
+    fn apply(&mut self, gpu: GpuId, dispatch: Dispatch) {
+        let gi = gpu.0 as usize;
+        match dispatch {
+            Dispatch::None => {}
+            Dispatch::Hit(r) => {
+                self.cluster.execute_hit(gi, r, self.events);
+                self.progress = true;
+            }
+            Dispatch::Miss(r) => {
+                self.cluster.execute_miss(gi, r, self.events);
+                self.progress = true;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::Policy;
     use gfaas_models::zoo::{Family, ModelSpec};
     use gfaas_trace::TraceRequest;
 
@@ -1095,5 +1119,104 @@ mod tests {
         let mut c = cluster(1, 1000, Policy::lalb(), 1);
         let m = c.run(&trace_of(&[(0.0, 0)]));
         assert!((m.sm_utilization - 0.5).abs() < 1e-6);
+    }
+
+    // ------------------------------------------------------------------
+    // The pluggable policy surface
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn spec_strings_drive_the_cluster() {
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalbo3());
+        cfg.policy = "lalbo3:25".parse().unwrap();
+        cfg.replacement = "tinylfu:0.9".parse().unwrap();
+        let mut c = Cluster::new(cfg, toy_registry(2));
+        assert_eq!(c.scheduler_name(), "LALBO3");
+        assert_eq!(c.evictor_name(), "tinylfu");
+        let m = c.run(&trace_of(&[(0.0, 0), (1.0, 1), (10.0, 0)]));
+        assert_eq!(m.completed, 3);
+    }
+
+    #[test]
+    fn try_new_surfaces_bad_specs_and_configs() {
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalb());
+        cfg.policy = crate::policy::PolicySpec::bare("belady");
+        assert!(Cluster::try_new(cfg, toy_registry(1)).is_err());
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalb());
+        cfg.batch_size = 0;
+        assert!(matches!(
+            Cluster::try_new(cfg, toy_registry(1)),
+            Err(ConfigError::ZeroBatch)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster config")]
+    fn new_panics_on_invalid_config() {
+        let mut cfg = ClusterConfig::test(4, 1000, Policy::lalb());
+        cfg.gpus_per_node = 3; // does not divide 4
+        let _ = Cluster::new(cfg, toy_registry(1));
+    }
+
+    #[test]
+    fn injected_policy_objects_match_the_enum_path() {
+        // The open path (`with_policies`) must behave bit-identically to
+        // the compat enum path for the paper's policies.
+        let t = trace_of(&[(0.0, 0), (0.3, 1), (0.9, 2), (1.5, 0), (2.0, 1), (2.2, 2)]);
+        let via_enum = cluster(2, 250, Policy::lalbo3(), 3).run(&t);
+        let cfg = ClusterConfig::test(2, 250, Policy::lalbo3());
+        let seed = cfg.seed;
+        let mut injected = Cluster::with_policies(
+            cfg,
+            toy_registry(3),
+            Box::new(crate::scheduler::LalbScheduler::new(25)),
+            crate::cache::ReplacementPolicy::Lru.build(seed),
+        )
+        .unwrap();
+        assert_eq!(injected.run(&t), via_enum);
+    }
+
+    #[test]
+    fn custom_scheduler_plugs_into_the_cluster() {
+        /// Dispatches the queue head to the *lowest-id* idle GPU,
+        /// ignoring locality and idle time — not a builtin policy.
+        #[derive(Debug)]
+        struct FirstGpu;
+        impl SchedulerPolicy for FirstGpu {
+            fn name(&self) -> String {
+                "first-gpu".into()
+            }
+            fn idle_order(&mut self, _ctx: &SchedCtx<'_>, idle: &mut Vec<GpuId>) {
+                idle.sort();
+            }
+            fn on_gpu_idle(&mut self, gpu: GpuId, ctx: &mut SchedCtx<'_>) -> Dispatch {
+                if ctx.queue_len() == 0 {
+                    return Dispatch::None;
+                }
+                let r = ctx.take_queued(0);
+                if ctx.is_cached(gpu, r.model) {
+                    Dispatch::Hit(r)
+                } else {
+                    Dispatch::Miss(r)
+                }
+            }
+        }
+
+        let cfg = ClusterConfig::test(3, 1000, Policy::lalb());
+        let seed = cfg.seed;
+        let mut c = Cluster::with_policies(
+            cfg,
+            toy_registry(2),
+            Box::new(FirstGpu),
+            crate::cache::ReplacementPolicy::Lru.build(seed),
+        )
+        .unwrap();
+        assert_eq!(c.scheduler_name(), "first-gpu");
+        // Requests arriving while all GPUs idle always land on gpu0.
+        let m = c.run(&trace_of(&[(0.0, 0), (10.0, 1), (20.0, 0)]));
+        assert_eq!(m.completed, 3);
+        // gpu0 evicted nothing (1000 MiB fits both models), served all
+        // three: the repeat of m0 is a hit because gpu0 still holds it.
+        assert_eq!(m.misses, 2);
     }
 }

@@ -1,9 +1,10 @@
 //! Cluster configuration.
 
+use std::fmt;
+
 use gfaas_gpu::GpuSpec;
 
-use crate::cache::ReplacementPolicy;
-use crate::scheduler::Policy;
+use crate::policy::{PolicyError, PolicySpec};
 
 /// How Algorithm 2 treats a request whose model is cached only on busy
 /// GPUs — the finish-time-estimation ablation (DESIGN.md §4).
@@ -32,6 +33,62 @@ pub enum BusyWaitPolicy {
 /// in which the paper's measured curves could not have been produced.
 pub const PAPER_MEM_HEADROOM_MIB: u64 = 3072;
 
+/// A structurally invalid [`ClusterConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The cluster has no GPUs.
+    NoGpus,
+    /// `hetero_specs` was set but its length differs from `num_gpus`.
+    HeteroSpecLen {
+        /// `num_gpus`.
+        expected: usize,
+        /// `hetero_specs.len()`.
+        got: usize,
+    },
+    /// `gpus_per_node` is zero or does not divide `num_gpus` evenly.
+    BadNodeShape {
+        /// `num_gpus`.
+        num_gpus: usize,
+        /// `gpus_per_node`.
+        gpus_per_node: usize,
+    },
+    /// `batch_size` is zero.
+    ZeroBatch,
+    /// The scheduler or replacement spec failed to resolve.
+    Policy(PolicyError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoGpus => write!(f, "num_gpus must be positive"),
+            ConfigError::HeteroSpecLen { expected, got } => {
+                write!(
+                    f,
+                    "hetero_specs length {got} must equal num_gpus {expected}"
+                )
+            }
+            ConfigError::BadNodeShape {
+                num_gpus,
+                gpus_per_node,
+            } => write!(
+                f,
+                "gpus_per_node {gpus_per_node} must be positive and divide num_gpus {num_gpus}"
+            ),
+            ConfigError::ZeroBatch => write!(f, "batch_size must be positive"),
+            ConfigError::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<PolicyError> for ConfigError {
+    fn from(e: PolicyError) -> Self {
+        ConfigError::Policy(e)
+    }
+}
+
 /// Configuration of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -52,10 +109,17 @@ pub struct ClusterConfig {
     /// requests — the §VI isolation knob limiting the GPU processes a
     /// tenant can occupy. `None` disables isolation.
     pub tenant_max_inflight: Option<usize>,
-    /// Scheduling policy.
-    pub policy: Policy,
-    /// Cache replacement policy (paper default LRU; §VI ablation).
-    pub replacement: ReplacementPolicy,
+    /// Scheduling policy spec, resolved through
+    /// [`crate::policy::PolicyRegistry`] (`"lb"`, `"lalb"`,
+    /// `"lalbo3[:limit]"`, or any registered key). The [`Policy`]
+    /// constructors convert into canonical specs.
+    ///
+    /// [`Policy`]: crate::scheduler::Policy
+    pub policy: PolicySpec,
+    /// Cache replacement spec (paper default `"lru"`; `"fifo"` /
+    /// `"random"` for the §VI ablation, `"tinylfu[:decay]"` for the
+    /// frequency-decay policy, or any registered key).
+    pub replacement: PolicySpec,
     /// Inference batch size (the paper fixes 32 throughout §V).
     pub batch_size: usize,
     /// Algorithm 2's busy-holder handling (ablation; paper = `Estimate`).
@@ -82,22 +146,22 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig::paper_testbed(Policy::lalbo3())
+        ClusterConfig::paper_testbed(crate::scheduler::Policy::lalbo3())
     }
 }
 
 impl ClusterConfig {
     /// The paper's testbed: 12 RTX 2080 GPUs on 3 nodes.
-    pub fn paper_testbed(policy: Policy) -> Self {
+    pub fn paper_testbed(policy: impl Into<PolicySpec>) -> Self {
         ClusterConfig {
             num_gpus: 12,
             gpus_per_node: 4,
             gpu_spec: GpuSpec::rtx2080(),
-            policy,
+            policy: policy.into(),
             hetero_specs: None,
             num_tenants: 1,
             tenant_max_inflight: None,
-            replacement: ReplacementPolicy::Lru,
+            replacement: PolicySpec::bare("lru"),
             batch_size: 32,
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: PAPER_MEM_HEADROOM_MIB,
@@ -108,16 +172,16 @@ impl ClusterConfig {
     }
 
     /// A small test cluster with instant-PCIe GPUs of `mem_mib` each.
-    pub fn test(num_gpus: usize, mem_mib: u64, policy: Policy) -> Self {
+    pub fn test(num_gpus: usize, mem_mib: u64, policy: impl Into<PolicySpec>) -> Self {
         ClusterConfig {
             num_gpus,
             gpus_per_node: num_gpus.max(1),
             gpu_spec: GpuSpec::test(mem_mib),
-            policy,
+            policy: policy.into(),
             hetero_specs: None,
             num_tenants: 1,
             tenant_max_inflight: None,
-            replacement: ReplacementPolicy::Lru,
+            replacement: PolicySpec::bare("lru"),
             batch_size: 32,
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: 0,
@@ -126,11 +190,44 @@ impl ClusterConfig {
             report_to_datastore: false,
         }
     }
+
+    /// Checks structural consistency: a cluster with GPUs, hetero specs
+    /// matching the GPU count, a node shape that tiles the cluster, and a
+    /// non-zero batch size. Policy *specs* are resolved separately (by
+    /// [`Cluster::try_new`]) so a config validated here can still carry
+    /// keys only a custom registry knows.
+    ///
+    /// [`Cluster::try_new`]: crate::cluster::Cluster::try_new
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_gpus == 0 {
+            return Err(ConfigError::NoGpus);
+        }
+        if let Some(specs) = &self.hetero_specs {
+            if specs.len() != self.num_gpus {
+                return Err(ConfigError::HeteroSpecLen {
+                    expected: self.num_gpus,
+                    got: specs.len(),
+                });
+            }
+        }
+        if self.gpus_per_node == 0 || !self.num_gpus.is_multiple_of(self.gpus_per_node) {
+            return Err(ConfigError::BadNodeShape {
+                num_gpus: self.num_gpus,
+                gpus_per_node: self.gpus_per_node,
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ReplacementPolicy;
+    use crate::scheduler::Policy;
 
     #[test]
     fn paper_testbed_matches_evaluation_setup() {
@@ -138,6 +235,57 @@ mod tests {
         assert_eq!(c.num_gpus, 12);
         assert_eq!(c.gpus_per_node, 4);
         assert_eq!(c.gpu_spec.name, "GeForce RTX 2080");
-        assert_eq!(c.replacement, ReplacementPolicy::Lru);
+        assert_eq!(c.replacement, ReplacementPolicy::Lru.into());
+        assert_eq!(c.policy, PolicySpec::bare("lb"));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_hetero_length_mismatch() {
+        let mut c = ClusterConfig::test(3, 1000, Policy::lalb());
+        c.hetero_specs = Some(vec![GpuSpec::test(1000); 2]);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::HeteroSpecLen {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_node_shape() {
+        let mut c = ClusterConfig::test(4, 1000, Policy::lalb());
+        c.gpus_per_node = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadNodeShape { .. })
+        ));
+        c.gpus_per_node = 3; // 4 % 3 != 0
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadNodeShape { .. })
+        ));
+        c.gpus_per_node = 2;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_batch_and_zero_gpus() {
+        let mut c = ClusterConfig::test(1, 1000, Policy::lalb());
+        c.batch_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBatch));
+        let z = ClusterConfig::test(0, 1000, Policy::lalb());
+        assert_eq!(z.validate(), Err(ConfigError::NoGpus));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = ConfigError::BadNodeShape {
+            num_gpus: 5,
+            gpus_per_node: 2,
+        };
+        assert!(e.to_string().contains("divide num_gpus 5"));
+        assert!(ConfigError::ZeroBatch.to_string().contains("batch_size"));
     }
 }

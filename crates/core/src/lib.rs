@@ -5,16 +5,23 @@
 //! support (paper Fig 2):
 //!
 //! * [`cache::CacheManager`] — global; treats models uploaded to each GPU's
-//!   memory as cache items under per-GPU LRU lists (FIFO/random available
-//!   for the §VI ablation), picks eviction victims on misses, and maintains
-//!   the model→GPUs residency index the scheduler searches.
+//!   memory as cache items, asks its pluggable [`cache::Evictor`] for
+//!   victims on misses (per-GPU LRU by default; FIFO/random for the §VI
+//!   ablation, TinyLFU for drift-heavy workloads), and maintains the
+//!   model→GPUs residency index the scheduler searches.
 //! * [`gpu_manager`] — per-GPU execution state: the local queue, the
 //!   in-flight request, hit counters, and the estimated-finish-time
 //!   computation Algorithm 2 compares against model load time.
-//! * [`scheduler`] — the policies: the default load-balancing baseline
-//!   (**LB**), locality-aware load balancing (**LALB**, Algorithms 1–2),
-//!   and LALB with out-of-order dispatch (**LALB+O3**) with its
-//!   starvation limit.
+//! * [`scheduler`] — the policy surface: the open
+//!   [`scheduler::SchedulerPolicy`] trait plus the paper's impls — the
+//!   load-balancing baseline (**LB**), locality-aware load balancing
+//!   (**LALB**, Algorithms 1–2), and LALB with out-of-order dispatch
+//!   (**LALB+O3**) with its starvation limit.
+//!
+//! Schedulers and evictors are named by string specs (`"lalbo3:25"`,
+//! `"tinylfu:0.9"`) resolved through [`policy::PolicyRegistry`]; the
+//! [`Policy`] / [`ReplacementPolicy`] enums remain as thin constructors
+//! for the paper's closed set.
 //!
 //! [`cluster::Cluster`] wires everything to the discrete-event engine and
 //! runs a workload trace to completion, producing [`metrics::RunMetrics`] —
@@ -30,13 +37,17 @@ pub mod config;
 pub mod gpu_manager;
 pub mod live;
 pub mod metrics;
+pub mod policy;
 pub mod request;
 pub mod scheduler;
+pub mod tinylfu;
 
-pub use cache::{CacheManager, ReplacementPolicy};
-pub use cluster::Cluster;
-pub use config::ClusterConfig;
+pub use cache::{CacheManager, Evictor, FifoEvictor, LruEvictor, RandomEvictor, ReplacementPolicy};
+pub use cluster::{Cluster, SchedCtx};
+pub use config::{ClusterConfig, ConfigError};
 pub use live::{LiveResponse, LiveServer};
 pub use metrics::RunMetrics;
+pub use policy::{PolicyError, PolicyRegistry, PolicySpec};
 pub use request::Request;
-pub use scheduler::Policy;
+pub use scheduler::{Dispatch, LalbScheduler, LbScheduler, Policy, SchedulerPolicy};
+pub use tinylfu::TinyLfuEvictor;

@@ -1,0 +1,489 @@
+//! String-keyed policy specs and the pluggable policy registry.
+//!
+//! A [`PolicySpec`] is a parsed `key[:arg]` string — the CLI- and
+//! config-facing name of a policy: `"lb"`, `"lalb"`, `"lalbo3:25"` for
+//! schedulers; `"lru"`, `"fifo"`, `"random"`, `"tinylfu:0.9"` for
+//! evictors. [`PolicyRegistry`] maps those keys to factories producing
+//! [`SchedulerPolicy`] / [`Evictor`] trait objects;
+//! [`PolicyRegistry::builtin`] pre-registers the paper's policies plus
+//! TinyLFU, and [`PolicyRegistry::register_scheduler`] /
+//! [`PolicyRegistry::register_evictor`] open the namespace to new ones
+//! without touching `gfaas-core`.
+//!
+//! ```
+//! use gfaas_core::policy::{PolicyRegistry, PolicySpec};
+//!
+//! let reg = PolicyRegistry::builtin();
+//! let sched = reg.scheduler(&PolicySpec::parse("lalbo3:40").unwrap()).unwrap();
+//! assert_eq!(sched.name(), "LALBO3(limit=40)");
+//! let ev = reg.evictor(&PolicySpec::parse("tinylfu:0.9").unwrap(), 1).unwrap();
+//! assert_eq!(ev.name(), "tinylfu");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cache::{Evictor, FifoEvictor, LruEvictor, RandomEvictor};
+use crate::scheduler::{LalbScheduler, LbScheduler, SchedulerPolicy, DEFAULT_O3_LIMIT};
+use crate::tinylfu::TinyLfuEvictor;
+
+/// Errors from spec parsing and registry lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The spec string was empty or syntactically malformed.
+    BadSpec(String),
+    /// No scheduler is registered under this key.
+    UnknownScheduler(String),
+    /// No evictor is registered under this key.
+    UnknownEvictor(String),
+    /// The key takes no argument but one was given.
+    UnexpectedArg {
+        /// The offending key.
+        key: String,
+        /// The argument that was supplied.
+        arg: String,
+    },
+    /// The argument failed to parse or was out of range.
+    BadArg {
+        /// The offending key.
+        key: String,
+        /// The argument that was supplied.
+        arg: String,
+        /// What the key expects, for the error message.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::BadSpec(s) => write!(f, "malformed policy spec {s:?}"),
+            PolicyError::UnknownScheduler(k) => write!(f, "unknown scheduler policy {k:?}"),
+            PolicyError::UnknownEvictor(k) => write!(f, "unknown replacement policy {k:?}"),
+            PolicyError::UnexpectedArg { key, arg } => {
+                write!(f, "policy {key:?} takes no argument (got {arg:?})")
+            }
+            PolicyError::BadArg { key, arg, expected } => {
+                write!(
+                    f,
+                    "bad argument {arg:?} for policy {key:?}: expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// A parsed `key[:arg]` policy spec — the string-facing identity of a
+/// scheduler or evictor.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolicySpec {
+    key: String,
+    arg: Option<String>,
+}
+
+impl PolicySpec {
+    /// Parses `"key"` or `"key:arg"`. Keys are lowercase `[a-z0-9_-]+`;
+    /// the argument (anything after the first `:`) is kept verbatim for
+    /// the factory to interpret.
+    pub fn parse(s: &str) -> Result<PolicySpec, PolicyError> {
+        let s = s.trim();
+        let (key, arg) = match s.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (s, None),
+        };
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+        {
+            return Err(PolicyError::BadSpec(s.to_string()));
+        }
+        if let Some(a) = arg {
+            if a.is_empty() {
+                return Err(PolicyError::BadSpec(s.to_string()));
+            }
+        }
+        Ok(PolicySpec {
+            key: key.to_string(),
+            arg: arg.map(str::to_string),
+        })
+    }
+
+    /// A spec with a bare key and no argument (not validated against any
+    /// registry).
+    pub fn bare(key: &str) -> PolicySpec {
+        PolicySpec {
+            key: key.to_string(),
+            arg: None,
+        }
+    }
+
+    /// The registry key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The raw argument, if any.
+    pub fn arg(&self) -> Option<&str> {
+        self.arg.as_deref()
+    }
+
+    /// Parses the argument as `T`, or `None` when absent.
+    pub fn arg_as<T: std::str::FromStr>(
+        &self,
+        expected: &'static str,
+    ) -> Result<Option<T>, PolicyError> {
+        match &self.arg {
+            None => Ok(None),
+            Some(a) => a.parse().map(Some).map_err(|_| PolicyError::BadArg {
+                key: self.key.clone(),
+                arg: a.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Errors unless the spec is a bare key.
+    fn expect_no_arg(&self) -> Result<(), PolicyError> {
+        match &self.arg {
+            None => Ok(()),
+            Some(a) => Err(PolicyError::UnexpectedArg {
+                key: self.key.clone(),
+                arg: a.clone(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{}:{}", self.key, a),
+            None => write!(f, "{}", self.key),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicySpec {
+    type Err = PolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicySpec::parse(s)
+    }
+}
+
+impl From<crate::scheduler::Policy> for PolicySpec {
+    /// Canonical spec for a paper scheduler: `lb`, `lalb`, `lalbo3`, or
+    /// `lalbo3:<limit>` for non-default limits.
+    fn from(p: crate::scheduler::Policy) -> Self {
+        use crate::scheduler::Policy;
+        match p {
+            Policy::LoadBalance => PolicySpec::bare("lb"),
+            Policy::Lalb { o3_limit: 0 } => PolicySpec::bare("lalb"),
+            Policy::Lalb { o3_limit } if o3_limit == DEFAULT_O3_LIMIT => PolicySpec::bare("lalbo3"),
+            Policy::Lalb { o3_limit } => PolicySpec {
+                key: "lalbo3".to_string(),
+                arg: Some(o3_limit.to_string()),
+            },
+        }
+    }
+}
+
+impl From<crate::cache::ReplacementPolicy> for PolicySpec {
+    /// Canonical spec for a paper replacement policy.
+    fn from(p: crate::cache::ReplacementPolicy) -> Self {
+        use crate::cache::ReplacementPolicy;
+        PolicySpec::bare(match p {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::Random => "random",
+        })
+    }
+}
+
+/// Factory producing a scheduler from its spec.
+pub type SchedulerFactory =
+    Box<dyn Fn(&PolicySpec) -> Result<Box<dyn SchedulerPolicy>, PolicyError> + Send + Sync>;
+
+/// Factory producing an evictor from its spec and the run seed (the seed
+/// feeds policies with internal randomness, e.g. `random`).
+pub type EvictorFactory =
+    Box<dyn Fn(&PolicySpec, u64) -> Result<Box<dyn Evictor>, PolicyError> + Send + Sync>;
+
+/// A string-keyed registry of scheduler and evictor factories.
+pub struct PolicyRegistry {
+    schedulers: BTreeMap<String, SchedulerFactory>,
+    evictors: BTreeMap<String, EvictorFactory>,
+}
+
+impl fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("schedulers", &self.scheduler_keys())
+            .field("evictors", &self.evictor_keys())
+            .finish()
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        PolicyRegistry::builtin()
+    }
+}
+
+impl PolicyRegistry {
+    /// An empty registry (no keys).
+    pub fn empty() -> Self {
+        PolicyRegistry {
+            schedulers: BTreeMap::new(),
+            evictors: BTreeMap::new(),
+        }
+    }
+
+    /// The builtin registry: schedulers `lb`, `lalb`, `lalbo3[:limit]`;
+    /// evictors `lru`, `fifo`, `random`, `tinylfu[:decay]`.
+    pub fn builtin() -> Self {
+        let mut reg = PolicyRegistry::empty();
+        reg.register_scheduler("lb", |spec| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(LbScheduler))
+        });
+        reg.register_scheduler("lalb", |spec| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(LalbScheduler::new(0)))
+        });
+        reg.register_scheduler("lalbo3", |spec| {
+            let limit = spec
+                .arg_as::<u32>("a starvation limit (u32)")?
+                .unwrap_or(DEFAULT_O3_LIMIT);
+            Ok(Box::new(LalbScheduler::new(limit)))
+        });
+        reg.register_evictor("lru", |spec, _seed| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(LruEvictor::default()))
+        });
+        reg.register_evictor("fifo", |spec, _seed| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(FifoEvictor::default()))
+        });
+        reg.register_evictor("random", |spec, seed| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(RandomEvictor::new(seed)))
+        });
+        reg.register_evictor("tinylfu", |spec, _seed| {
+            // Arg grammar: `decay[,window]` — e.g. `tinylfu:0.9` or
+            // `tinylfu:0.9,256`.
+            let bad = |expected: &'static str| PolicyError::BadArg {
+                key: spec.key().to_string(),
+                arg: spec.arg().unwrap_or_default().to_string(),
+                expected,
+            };
+            let (decay, window) = match spec.arg() {
+                None => (
+                    crate::tinylfu::DEFAULT_DECAY,
+                    crate::tinylfu::DEFAULT_WINDOW,
+                ),
+                Some(a) => {
+                    let (d, w) = match a.split_once(',') {
+                        None => (a, None),
+                        Some((d, w)) => (d, Some(w)),
+                    };
+                    let decay: f64 = d.parse().map_err(|_| bad("a decay factor in (0, 1)"))?;
+                    let window: u64 = match w {
+                        None => crate::tinylfu::DEFAULT_WINDOW,
+                        Some(w) => w
+                            .parse()
+                            .ok()
+                            .filter(|&w| w > 0)
+                            .ok_or_else(|| bad("a positive decay window"))?,
+                    };
+                    (decay, window)
+                }
+            };
+            if !(decay > 0.0 && decay < 1.0) {
+                return Err(bad("a decay factor in (0, 1)"));
+            }
+            Ok(Box::new(TinyLfuEvictor::new(decay).with_window(window)))
+        });
+        reg
+    }
+
+    /// Registers (or replaces) a scheduler factory under `key`.
+    pub fn register_scheduler<F>(&mut self, key: &str, factory: F)
+    where
+        F: Fn(&PolicySpec) -> Result<Box<dyn SchedulerPolicy>, PolicyError> + Send + Sync + 'static,
+    {
+        self.schedulers.insert(key.to_string(), Box::new(factory));
+    }
+
+    /// Registers (or replaces) an evictor factory under `key`.
+    pub fn register_evictor<F>(&mut self, key: &str, factory: F)
+    where
+        F: Fn(&PolicySpec, u64) -> Result<Box<dyn Evictor>, PolicyError> + Send + Sync + 'static,
+    {
+        self.evictors.insert(key.to_string(), Box::new(factory));
+    }
+
+    /// Instantiates the scheduler `spec` names.
+    pub fn scheduler(&self, spec: &PolicySpec) -> Result<Box<dyn SchedulerPolicy>, PolicyError> {
+        let factory = self
+            .schedulers
+            .get(spec.key())
+            .ok_or_else(|| PolicyError::UnknownScheduler(spec.key().to_string()))?;
+        factory(spec)
+    }
+
+    /// Instantiates the evictor `spec` names; `seed` feeds policies with
+    /// internal randomness.
+    pub fn evictor(&self, spec: &PolicySpec, seed: u64) -> Result<Box<dyn Evictor>, PolicyError> {
+        let factory = self
+            .evictors
+            .get(spec.key())
+            .ok_or_else(|| PolicyError::UnknownEvictor(spec.key().to_string()))?;
+        factory(spec, seed)
+    }
+
+    /// The display name of the scheduler `spec` names (instantiates it).
+    pub fn scheduler_name(&self, spec: &PolicySpec) -> Result<String, PolicyError> {
+        Ok(self.scheduler(spec)?.name())
+    }
+
+    /// Registered scheduler keys, sorted.
+    pub fn scheduler_keys(&self) -> Vec<&str> {
+        self.schedulers.keys().map(String::as_str).collect()
+    }
+
+    /// Registered evictor keys, sorted.
+    pub fn evictor_keys(&self) -> Vec<&str> {
+        self.evictors.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ReplacementPolicy;
+    use crate::scheduler::Policy;
+
+    #[test]
+    fn parses_bare_and_argument_specs() {
+        let s = PolicySpec::parse("lalbo3:25").unwrap();
+        assert_eq!(s.key(), "lalbo3");
+        assert_eq!(s.arg(), Some("25"));
+        assert_eq!(s.to_string(), "lalbo3:25");
+        let b = PolicySpec::parse(" lru ").unwrap();
+        assert_eq!(b.key(), "lru");
+        assert_eq!(b.arg(), None);
+        assert_eq!(b.to_string(), "lru");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", ":", "LRU", "lru:", "a b", "lalbo3 :25"] {
+            assert!(PolicySpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn builtin_scheduler_resolution() {
+        let reg = PolicyRegistry::builtin();
+        assert_eq!(reg.scheduler_keys(), vec!["lalb", "lalbo3", "lb"]);
+        let cases = [
+            ("lb", "LB"),
+            ("lalb", "LALB"),
+            ("lalbo3", "LALBO3"),
+            ("lalbo3:25", "LALBO3"),
+            ("lalbo3:40", "LALBO3(limit=40)"),
+        ];
+        for (spec, name) in cases {
+            let got = reg
+                .scheduler_name(&PolicySpec::parse(spec).unwrap())
+                .unwrap();
+            assert_eq!(got, name, "{spec}");
+        }
+    }
+
+    #[test]
+    fn builtin_evictor_resolution() {
+        let reg = PolicyRegistry::builtin();
+        assert_eq!(reg.evictor_keys(), vec!["fifo", "lru", "random", "tinylfu"]);
+        for spec in ["lru", "fifo", "random", "tinylfu", "tinylfu:0.9"] {
+            let ev = reg.evictor(&PolicySpec::parse(spec).unwrap(), 7).unwrap();
+            assert_eq!(ev.name(), spec.split(':').next().unwrap());
+        }
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        let reg = PolicyRegistry::builtin();
+        for bad in [
+            "lb:1",
+            "lalb:5",
+            "lalbo3:x",
+            "lru:2",
+            "tinylfu:1.5",
+            "tinylfu:nan",
+        ] {
+            let spec = PolicySpec::parse(bad).unwrap();
+            let failed = reg.scheduler(&spec).is_err() && reg.evictor(&spec, 1).is_err();
+            assert!(failed, "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_name_the_namespace() {
+        let reg = PolicyRegistry::builtin();
+        let spec = PolicySpec::parse("belady").unwrap();
+        assert_eq!(
+            reg.scheduler(&spec).unwrap_err(),
+            PolicyError::UnknownScheduler("belady".to_string())
+        );
+        assert_eq!(
+            reg.evictor(&spec, 1).unwrap_err(),
+            PolicyError::UnknownEvictor("belady".to_string())
+        );
+    }
+
+    #[test]
+    fn enum_conversions_round_trip_through_the_registry() {
+        let reg = PolicyRegistry::builtin();
+        for (policy, name) in [
+            (Policy::lb(), "LB"),
+            (Policy::lalb(), "LALB"),
+            (Policy::lalbo3(), "LALBO3"),
+            (Policy::lalb_with_limit(7), "LALBO3(limit=7)"),
+        ] {
+            let spec: PolicySpec = policy.into();
+            assert_eq!(reg.scheduler_name(&spec).unwrap(), name);
+            assert_eq!(policy.name(), name, "enum and trait names agree");
+        }
+        for repl in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let spec: PolicySpec = repl.into();
+            let ev = reg.evictor(&spec, 3).unwrap();
+            assert_eq!(ev.name(), spec.key());
+        }
+    }
+
+    #[test]
+    fn custom_registration_extends_the_namespace() {
+        let mut reg = PolicyRegistry::builtin();
+        reg.register_scheduler("lb2", |spec| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(LbScheduler))
+        });
+        assert!(reg.scheduler(&PolicySpec::parse("lb2").unwrap()).is_ok());
+        // Builtin keys can be shadowed too (replacement, not error).
+        reg.register_evictor("lru", |spec, _| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(FifoEvictor::default()))
+        });
+        let ev = reg.evictor(&PolicySpec::bare("lru"), 1).unwrap();
+        assert_eq!(ev.name(), "fifo", "shadowed factory wins");
+    }
+}

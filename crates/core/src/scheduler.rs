@@ -1,4 +1,4 @@
-//! Scheduling policies (paper §IV).
+//! Scheduling policies (paper §IV) — an open trait surface.
 //!
 //! * **LB** — the default load-balancing baseline: "simply dispatches the
 //!   request at the head of the global queue whenever a GPU becomes idle"
@@ -17,13 +17,28 @@
 //!   via `LocalityLoadBalance` regardless of hit or miss (§IV-B's
 //!   starvation guard).
 //!
-//! The algorithm implementation lives in [`crate::cluster`], which owns the
-//! state the pseudo-code mutates; this module defines the policy surface.
+//! # The trait surface
+//!
+//! Policies implement [`SchedulerPolicy`]: the cluster driver calls
+//! [`SchedulerPolicy::on_gpu_idle`] for each idle GPU with a borrowed
+//! [`SchedCtx`] view of the queue, residency, and finish-time state, and
+//! the policy answers with a [`Dispatch`] for that GPU (placements on
+//! *other* GPUs — Algorithm 2's hit-elsewhere / wait-on-busy arms —
+//! execute immediately through the context). The paper's three policies
+//! are [`LbScheduler`] and [`LalbScheduler`]; the [`Policy`] enum survives
+//! as a thin constructor facade, and string specs (`"lb"`, `"lalbo3:25"`)
+//! resolve through [`crate::policy::PolicyRegistry`].
+
+use crate::cluster::SchedCtx;
+use crate::config::BusyWaitPolicy;
+use crate::request::Request;
+use gfaas_gpu::GpuId;
 
 /// The paper's default starvation limit for out-of-order dispatch.
 pub const DEFAULT_O3_LIMIT: u32 = 25;
 
-/// A scheduling policy.
+/// A scheduling policy — the paper's closed set, kept as a thin
+/// constructor facade over the [`SchedulerPolicy`] impls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Default load balancing (the paper's baseline).
@@ -75,6 +90,210 @@ impl Policy {
     pub fn is_locality_aware(&self) -> bool {
         matches!(self, Policy::Lalb { .. })
     }
+
+    /// Builds the trait-object scheduler this enum variant names.
+    pub fn build(self) -> Box<dyn SchedulerPolicy> {
+        match self {
+            Policy::LoadBalance => Box::new(LbScheduler),
+            Policy::Lalb { o3_limit } => Box::new(LalbScheduler::new(o3_limit)),
+        }
+    }
+}
+
+/// What a policy decided for the idle GPU it was asked about.
+#[derive(Debug, Clone, Copy)]
+pub enum Dispatch {
+    /// Nothing can be dispatched to this GPU in this pass.
+    None,
+    /// Run `Request` on the idle GPU as a cache hit (its model must be
+    /// resident there).
+    Hit(Request),
+    /// Load the request's model on the idle GPU, evicting as needed, then
+    /// run (the miss path).
+    Miss(Request),
+}
+
+/// A scheduling policy driving the cluster's dispatch decisions.
+///
+/// The driver runs scheduling passes "when at least one request is
+/// waiting in the global queue and at least one GPU is idle". Each pass it
+/// collects the idle GPUs, lets the policy order them
+/// ([`SchedulerPolicy::idle_order`]), and calls
+/// [`SchedulerPolicy::on_gpu_idle`] per GPU until no policy makes
+/// progress. Serving a GPU's own local queue first (Algorithm 1 lines
+/// 2–5) is structural and stays in the driver.
+///
+/// Implementations must be deterministic: any randomness must come from
+/// owned, seeded state.
+pub trait SchedulerPolicy: std::fmt::Debug + Send {
+    /// Display name for reports (the paper uses `LB` / `LALB` / `LALBO3`).
+    fn name(&self) -> String;
+
+    /// Orders the idle GPUs for one scheduling pass. The default is the
+    /// locality-aware rule — "the list of idle GPUs (sorted by
+    /// frequency)": more cache hits served first, then GPU id.
+    fn idle_order(&mut self, ctx: &SchedCtx<'_>, idle: &mut Vec<GpuId>) {
+        idle.sort_by(|&a, &b| ctx.hits(b).cmp(&ctx.hits(a)).then(a.cmp(&b)));
+    }
+
+    /// Decides what idle GPU `gpu` should run next. Placements on *other*
+    /// GPUs (hit-elsewhere, wait-on-busy) execute immediately through
+    /// `ctx`; the returned [`Dispatch`] is executed on `gpu` itself.
+    fn on_gpu_idle(&mut self, gpu: GpuId, ctx: &mut SchedCtx<'_>) -> Dispatch;
+}
+
+/// The LB baseline: head of the global queue to the longest-idle GPU,
+/// locality ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LbScheduler;
+
+impl SchedulerPolicy for LbScheduler {
+    fn name(&self) -> String {
+        "LB".to_string()
+    }
+
+    /// LB: longest idle first (pure load spreading).
+    fn idle_order(&mut self, ctx: &SchedCtx<'_>, idle: &mut Vec<GpuId>) {
+        idle.sort_by(|&a, &b| ctx.idle_since(a).cmp(&ctx.idle_since(b)).then(a.cmp(&b)));
+    }
+
+    fn on_gpu_idle(&mut self, gpu: GpuId, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        if ctx.queue_len() == 0 {
+            return Dispatch::None;
+        }
+        if ctx.tenant_blocked(ctx.queued(0).tenant) {
+            return Dispatch::None; // §VI isolation: the head's tenant is at its cap
+        }
+        let r = ctx.take_queued(0);
+        if ctx.is_cached(gpu, r.model) {
+            Dispatch::Hit(r) // accidental hit still skips the upload
+        } else {
+            Dispatch::Miss(r)
+        }
+    }
+}
+
+/// Locality-aware load balancing (Algorithms 1 and 2); `o3_limit > 0`
+/// adds out-of-order dispatch with that starvation limit.
+#[derive(Debug, Clone, Copy)]
+pub struct LalbScheduler {
+    o3_limit: u32,
+}
+
+impl LalbScheduler {
+    /// A LALB scheduler; `o3_limit == 0` is pure LALB, `> 0` is LALB+O3.
+    pub fn new(o3_limit: u32) -> Self {
+        LalbScheduler { o3_limit }
+    }
+
+    /// The configured starvation limit.
+    pub fn o3_limit(&self) -> u32 {
+        self.o3_limit
+    }
+
+    /// Algorithm 2. Places `r`, preferring (1) a miss on `gpu` if the model
+    /// is cached nowhere, (2) a hit on another idle GPU, (3) the local
+    /// queue of the busy holder with the smallest estimated wait when that
+    /// wait beats the model's load time, (4) otherwise a miss on `gpu`.
+    /// Returns `Some(Dispatch)` iff the request targets `gpu` itself.
+    fn locality_load_balance(gpu: GpuId, r: Request, ctx: &mut SchedCtx<'_>) -> Option<Dispatch> {
+        let holders = ctx.holders(r.model);
+        if holders.is_empty() {
+            // Lines 1–3: cached nowhere → allow the miss here.
+            return Some(Dispatch::Miss(r));
+        }
+        // Lines 4–6: cached on another idle GPU → hit there.
+        if let Some(&j) = holders.iter().find(|&&j| j != gpu && ctx.is_idle(j)) {
+            ctx.dispatch_hit(j, r);
+            return None;
+        }
+        // Lines 8–15: cached only on busy GPUs. Compare the best holder's
+        // estimated finish time against the load time of a cold start.
+        // `busy_wait` ablates this decision (DESIGN.md §4).
+        let load_time = ctx.load_time(gpu, r.model);
+        let best = holders
+            .iter()
+            .map(|&j| (ctx.estimated_wait(j), j))
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        if let Some((wait, j)) = best {
+            let join_queue = match ctx.busy_wait() {
+                BusyWaitPolicy::Estimate => wait < load_time,
+                BusyWaitPolicy::Never => false,
+                BusyWaitPolicy::Always => true,
+            };
+            if join_queue {
+                ctx.enqueue_local(j, r);
+                return None;
+            }
+        }
+        // Lines 16–18: the busy hit would be slower → allow the miss here.
+        Some(Dispatch::Miss(r))
+    }
+}
+
+impl SchedulerPolicy for LalbScheduler {
+    fn name(&self) -> String {
+        Policy::Lalb {
+            o3_limit: self.o3_limit,
+        }
+        .name()
+    }
+
+    /// Algorithm 1 for one idle GPU.
+    fn on_gpu_idle(&mut self, gpu: GpuId, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        // Lines 6–16: scan the global queue in arrival order for a request
+        // whose model is cached on this GPU; skipped requests accumulate
+        // visits, and a request at the limit is placed immediately.
+        let mut i = 0;
+        while i < ctx.queue_len() {
+            if !ctx.is_idle(gpu) {
+                return Dispatch::None; // got work via LocalityLoadBalance
+            }
+            let (tenant, model, visits) = {
+                let r = ctx.queued(i);
+                (r.tenant, r.model, r.visits)
+            };
+            if ctx.tenant_blocked(tenant) {
+                // §VI isolation: capped tenants are passed over without
+                // O3 visit accounting (they are blocked, not skipped).
+                i += 1;
+                continue;
+            }
+            if ctx.is_cached(gpu, model) {
+                return Dispatch::Hit(ctx.take_queued(i));
+            }
+            if visits >= self.o3_limit {
+                let r = ctx.take_queued(i);
+                if let Some(d) = Self::locality_load_balance(gpu, r, ctx) {
+                    return d;
+                }
+                // r went to another GPU or a local queue; the element at
+                // index i is now the next request — do not advance i.
+            } else {
+                ctx.note_skip(i);
+                i += 1;
+            }
+        }
+
+        // Lines 17–21: no queued request has its model cached here; give
+        // each request (arrival order) its best placement until this GPU
+        // receives one. Capped tenants stay queued.
+        let mut i = 0;
+        while i < ctx.queue_len() {
+            if !ctx.is_idle(gpu) {
+                return Dispatch::None;
+            }
+            if ctx.tenant_blocked(ctx.queued(i).tenant) {
+                i += 1;
+                continue;
+            }
+            let r = ctx.take_queued(i);
+            if let Some(d) = Self::locality_load_balance(gpu, r, ctx) {
+                return d;
+            }
+        }
+        Dispatch::None
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +314,18 @@ mod tests {
         assert_eq!(Policy::lalb(), Policy::Lalb { o3_limit: 0 });
         assert!(Policy::lalb().is_locality_aware());
         assert!(!Policy::lb().is_locality_aware());
+    }
+
+    #[test]
+    fn enum_builds_matching_trait_impls() {
+        assert_eq!(Policy::lb().build().name(), "LB");
+        assert_eq!(Policy::lalb().build().name(), "LALB");
+        assert_eq!(Policy::lalbo3().build().name(), "LALBO3");
+        assert_eq!(Policy::lalb_with_limit(7).build().name(), "LALBO3(limit=7)");
+    }
+
+    #[test]
+    fn lalb_scheduler_exposes_its_limit() {
+        assert_eq!(LalbScheduler::new(25).o3_limit(), 25);
     }
 }

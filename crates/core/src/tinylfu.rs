@@ -1,0 +1,239 @@
+//! TinyLFU-style frequency-decay eviction (ROADMAP: drift-aware caching).
+//!
+//! LRU mirrors the paper's static-popularity workload well, but under the
+//! `drift` and `churn` scenarios recency keeps evicting tomorrow's head:
+//! every probe of a cooling model refreshes it, while a rising model gets
+//! evicted between its still-sparse arrivals. TinyLFU (Einziger et al.,
+//! "TinyLFU: A Highly Efficient Cache Admission Policy") replaces recency
+//! with *windowed frequency*: each model keeps an access counter, and
+//! every `window` accesses all counters are multiplied by a decay factor,
+//! so popularity estimates age out at a controlled rate. Victims are the
+//! resident models with the lowest decayed frequency.
+//!
+//! The full-size TinyLFU approximates counters with a count-min sketch;
+//! at this simulator's scale (tens of models, not millions of keys) exact
+//! per-model counters are smaller than the sketch would be, so we keep
+//! them exact — the *policy* (frequency with periodic decay) is the same.
+//!
+//! The evictor is registered as `"tinylfu"` with an optional decay-factor
+//! argument (`"tinylfu:0.9"`) in [`crate::policy::PolicyRegistry`].
+
+use std::collections::BTreeMap;
+
+use gfaas_gpu::{GpuId, ModelId};
+
+use crate::cache::{Evictor, OrderLists};
+
+/// Default decay factor applied to every counter at each window boundary.
+/// 0.5 is the classic TinyLFU "reset" halving.
+pub const DEFAULT_DECAY: f64 = 0.5;
+
+/// Default window: accesses between decay events. Small enough that the
+/// estimate adapts within one head-rotation of the `drift` scenario at
+/// paper scale (~325 requests), large enough to smooth Zipf noise.
+pub const DEFAULT_WINDOW: u64 = 128;
+
+/// Windowed frequency-decay replacement ([`Evictor`] impl).
+#[derive(Debug, Clone)]
+pub struct TinyLfuEvictor {
+    lists: OrderLists,
+    /// Decayed access counts, shared across GPUs (popularity is a property
+    /// of the model, not of the replica).
+    freq: BTreeMap<ModelId, f64>,
+    accesses: u64,
+    window: u64,
+    decay: f64,
+}
+
+impl Default for TinyLfuEvictor {
+    fn default() -> Self {
+        TinyLfuEvictor::new(DEFAULT_DECAY)
+    }
+}
+
+impl TinyLfuEvictor {
+    /// A TinyLFU evictor with the given decay factor in `(0, 1)`.
+    ///
+    /// # Panics
+    /// If `decay` is not strictly between 0 and 1.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "tinylfu decay must be in (0, 1), got {decay}"
+        );
+        TinyLfuEvictor {
+            lists: OrderLists::default(),
+            freq: BTreeMap::new(),
+            accesses: 0,
+            window: DEFAULT_WINDOW,
+            decay,
+        }
+    }
+
+    /// Overrides the decay window (accesses between decay events).
+    ///
+    /// # Panics
+    /// If `window` is zero.
+    pub fn with_window(mut self, window: u64) -> Self {
+        assert!(window > 0, "tinylfu window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// The decayed frequency estimate for `model` (0 if never seen).
+    pub fn frequency(&self, model: ModelId) -> f64 {
+        self.freq.get(&model).copied().unwrap_or(0.0)
+    }
+
+    /// One access: bump the counter and decay everything at window
+    /// boundaries. Counters below ~1/2 an access are dropped so the table
+    /// stays bounded by the recently-seen model set.
+    fn record_access(&mut self, model: ModelId) {
+        *self.freq.entry(model).or_insert(0.0) += 1.0;
+        self.accesses += 1;
+        if self.accesses >= self.window {
+            self.accesses = 0;
+            let decay = self.decay;
+            self.freq.retain(|_, f| {
+                *f *= decay;
+                *f >= 0.5
+            });
+        }
+    }
+}
+
+impl Evictor for TinyLfuEvictor {
+    fn name(&self) -> &'static str {
+        "tinylfu"
+    }
+
+    fn attach_gpu(&mut self, gpu: GpuId) {
+        self.lists.attach(gpu);
+    }
+
+    fn on_insert(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.push_hot(gpu, model);
+        self.record_access(model);
+    }
+
+    fn on_hit(&mut self, gpu: GpuId, model: ModelId) {
+        // Keep recency order too: frequency picks the victim, recency
+        // breaks ties among equally-cold models.
+        self.lists.touch(gpu, model);
+        self.record_access(model);
+    }
+
+    fn on_remove(&mut self, gpu: GpuId, model: ModelId) {
+        self.lists.remove(gpu, model);
+    }
+
+    fn order(&self, gpu: GpuId) -> Vec<ModelId> {
+        self.lists.order(gpu)
+    }
+
+    fn pick_victim(&mut self, _gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+        // Lowest decayed frequency dies first; `min_by` keeps the first of
+        // equal minima, i.e. the least recently used of the tied models.
+        candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| self.frequency(*a).total_cmp(&self.frequency(*b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheManager;
+
+    const G0: GpuId = GpuId(0);
+    const A: ModelId = ModelId(0);
+    const B: ModelId = ModelId(1);
+    const C: ModelId = ModelId(2);
+
+    fn mgr() -> CacheManager {
+        CacheManager::with_evictor([G0], Box::new(TinyLfuEvictor::default()))
+    }
+
+    #[test]
+    fn frequent_model_survives_recent_but_rare_one() {
+        let mut m = mgr();
+        m.insert(G0, A);
+        m.insert(G0, B);
+        for _ in 0..5 {
+            m.touch(G0, A); // A is hot
+        }
+        m.touch(G0, B); // B is most *recent* but far less frequent
+        let victims = m.select_victims(G0, 100, 0, |_| 100, &[]).unwrap();
+        assert_eq!(victims, vec![B], "LRU would have evicted A here");
+        assert!(m.is_cached(G0, A));
+    }
+
+    #[test]
+    fn ties_fall_back_to_recency_order() {
+        let mut m = mgr();
+        m.insert(G0, A);
+        m.insert(G0, B);
+        m.touch(G0, A); // equal frequency (2 each) once B is touched
+        m.touch(G0, B);
+        // Order is now [A, B] by recency; equal frequencies → A (least
+        // recently used) goes first.
+        let victims = m.select_victims(G0, 100, 0, |_| 100, &[]).unwrap();
+        assert_eq!(victims, vec![A]);
+    }
+
+    #[test]
+    fn window_decay_forgets_yesterdays_head() {
+        let mut e = TinyLfuEvictor::new(0.5).with_window(10);
+        e.attach_gpu(G0);
+        e.on_insert(G0, A);
+        for _ in 0..8 {
+            e.on_hit(G0, A); // 9 accesses: A's count = 9
+        }
+        assert_eq!(e.frequency(A), 9.0);
+        e.on_insert(G0, B); // 10th access crosses the window boundary
+        assert_eq!(e.frequency(A), 4.5, "decayed by 0.5");
+        assert_eq!(e.frequency(B), 0.5);
+        // Another window of B traffic overtakes the stale head.
+        for _ in 0..20 {
+            e.on_hit(G0, B);
+        }
+        assert!(e.frequency(B) > e.frequency(A));
+        let victim = e.pick_victim(G0, &[A, B]);
+        assert_eq!(victim, Some(A), "yesterday's head is now the victim");
+    }
+
+    #[test]
+    fn tiny_counters_are_pruned() {
+        let mut e = TinyLfuEvictor::new(0.5).with_window(2);
+        e.attach_gpu(G0);
+        e.on_insert(G0, A);
+        e.on_insert(G0, B); // window boundary: both decay to 0.5
+        e.on_insert(G0, C);
+        e.on_hit(G0, C); // boundary again: A, B fall to 0.25 → pruned
+        assert_eq!(e.frequency(A), 0.0);
+        assert_eq!(e.frequency(B), 0.0);
+        assert!(e.frequency(C) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in (0, 1)")]
+    fn rejects_out_of_range_decay() {
+        TinyLfuEvictor::new(1.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut m = mgr();
+            for i in 0..4u32 {
+                m.insert(G0, ModelId(i));
+            }
+            for i in 0..40u32 {
+                m.touch(G0, ModelId(i % 3));
+            }
+            m.select_victims(G0, 200, 0, |_| 100, &[]).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

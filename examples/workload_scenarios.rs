@@ -63,12 +63,12 @@ fn main() {
         registry().len()
     );
     let mut suite = ScenarioSuite::new(Scale::paper(), vec![11]);
-    suite.policies = vec![Policy::lb(), Policy::lalbo3()];
+    suite.policies = vec![Policy::lb().into(), Policy::lalbo3().into()];
     for cell in suite.run().cells {
         println!(
             "  {:<12} {:<7} avg {:6.2} s   p95 {:6.2} s   miss {:.3}",
             cell.scenario,
-            cell.policy.name(),
+            cell.policy_name,
             cell.metrics.avg_latency_secs,
             cell.metrics.p95_latency_secs,
             cell.metrics.miss_ratio

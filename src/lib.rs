@@ -12,7 +12,7 @@
 //! * [`models`] — the Table I model zoo and profiler;
 //! * [`faas`] — the FaaS substrate (datastore, gateway, watchdog);
 //! * [`core`] — LALB/LALB+O3 scheduling and cache management;
-//! * [`bench`] — the experiment harness behind the paper figures.
+//! * [`mod@bench`] — the experiment harness behind the paper figures.
 
 #![warn(missing_docs)]
 

@@ -162,10 +162,10 @@ fn replacement_policy_ablation_keeps_lalbo3_ahead() {
         ReplacementPolicy::Random,
     ] {
         let mut lb_cfg = ClusterConfig::paper_testbed(Policy::lb());
-        lb_cfg.replacement = repl;
+        lb_cfg.replacement = repl.into();
         let lb = Cluster::new(lb_cfg, ModelRegistry::table1()).run(&trace);
         let mut o3_cfg = ClusterConfig::paper_testbed(Policy::lalbo3());
-        o3_cfg.replacement = repl;
+        o3_cfg.replacement = repl.into();
         let o3 = Cluster::new(o3_cfg, ModelRegistry::table1()).run(&trace);
         assert!(
             o3.avg_latency_secs * 3.0 < lb.avg_latency_secs,

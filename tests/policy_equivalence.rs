@@ -1,0 +1,154 @@
+//! The pluggable-policy acceptance bar: every route into the policy layer
+//! — enum constructors, parsed string specs, and directly injected trait
+//! objects — must drive bit-identical simulations, and the new TinyLFU
+//! evictor must actually pay off on the drifting workload it was built
+//! for.
+
+use gfaas::bench::{run_spec_on_trace, ScenarioSuite, REPORT_SEEDS};
+use gfaas::core::{Cluster, ClusterConfig, Policy, PolicySpec, ReplacementPolicy, RunMetrics};
+use gfaas::models::ModelRegistry;
+use gfaas::workload::{registry, Scale};
+
+/// The paper's scheduler enums zipped with their canonical spec strings.
+const SCHEDULERS: [(Policy, &str); 3] = [
+    (Policy::LoadBalance, "lb"),
+    (Policy::Lalb { o3_limit: 0 }, "lalb"),
+    (Policy::Lalb { o3_limit: 25 }, "lalbo3:25"),
+];
+
+/// The paper's replacement enums zipped with their spec strings.
+const EVICTORS: [(ReplacementPolicy, &str); 3] = [
+    (ReplacementPolicy::Lru, "lru"),
+    (ReplacementPolicy::Fifo, "fifo"),
+    (ReplacementPolicy::Random, "random"),
+];
+
+fn run_cfg(cfg: ClusterConfig, trace: &gfaas::trace::Trace) -> RunMetrics {
+    Cluster::new(cfg, ModelRegistry::table1()).run(trace)
+}
+
+#[test]
+fn spec_path_equals_enum_path_for_every_policy_pair() {
+    // 3 schedulers × 3 evictors on every smoke scenario: the registry
+    // path (parsed strings) and the compat path (enum constructors) must
+    // produce byte-identical RunMetrics.
+    let scale = Scale::smoke();
+    for sc in registry() {
+        let trace = sc.trace(&scale, REPORT_SEEDS[0]);
+        for (policy, pspec) in SCHEDULERS {
+            for (repl, rspec) in EVICTORS {
+                let mut enum_cfg = ClusterConfig::paper_testbed(policy);
+                enum_cfg.replacement = repl.into();
+                let via_enum = run_cfg(enum_cfg, &trace);
+                let via_spec =
+                    run_spec_on_trace(&pspec.parse().unwrap(), &rspec.parse().unwrap(), &trace);
+                assert_eq!(
+                    via_enum, via_spec,
+                    "{}: {pspec} x {rspec} diverged from the enum baseline",
+                    sc.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_trait_objects_equal_the_registry_path() {
+    // Handing `Cluster::with_policies` explicitly constructed trait
+    // objects (no registry involved) must match spec resolution too —
+    // the registry is wiring, not behaviour.
+    let trace = registry()[0].trace(&Scale::smoke(), REPORT_SEEDS[0]);
+    for (policy, pspec) in SCHEDULERS {
+        for (repl, rspec) in EVICTORS {
+            let cfg = ClusterConfig::paper_testbed(policy);
+            let seed = cfg.seed;
+            let mut injected = Cluster::with_policies(
+                cfg,
+                ModelRegistry::table1(),
+                policy.build(),
+                repl.build(seed),
+            )
+            .unwrap();
+            let via_injection = injected.run(&trace);
+            let via_spec =
+                run_spec_on_trace(&pspec.parse().unwrap(), &rspec.parse().unwrap(), &trace);
+            assert_eq!(via_injection, via_spec, "{pspec} x {rspec}");
+        }
+    }
+}
+
+#[test]
+fn suite_replacement_axis_threads_through_to_cells() {
+    // A suite configured with a non-default evictor must actually run it:
+    // under memory pressure FIFO and LRU diverge on the paper scenario.
+    // (Smoke scale never evicts, so this needs the paper-scale horizon.)
+    let mut lru = ScenarioSuite::new(Scale::paper(), vec![REPORT_SEEDS[0]]);
+    lru.policies = vec!["lalbo3".parse().unwrap()];
+    lru.scenarios.retain(|s| s.name == "paper");
+    let mut fifo = lru.clone();
+    fifo.replacement = PolicySpec::bare("fifo");
+    let lru_cells = lru.run().cells;
+    let fifo_cells = fifo.run().cells;
+    assert_eq!(lru_cells.len(), fifo_cells.len());
+    assert!(
+        lru_cells
+            .iter()
+            .zip(&fifo_cells)
+            .any(|(a, b)| a.metrics != b.metrics),
+        "swapping the suite's evictor changed nothing"
+    );
+}
+
+#[test]
+fn tinylfu_beats_lru_on_the_drift_scenario() {
+    // The ROADMAP's drift-aware-caching claim, as a property over seeds:
+    // under the `drift` scenario (the Zipf head rotating through the
+    // horizon) the frequency-decay evictor must out-hit LRU. The smoke
+    // horizon (60 requests) never fills a GPU, so the property is checked
+    // at paper scale — the same rows `scenarios --scenario drift` prints.
+    let drift = registry()
+        .into_iter()
+        .find(|s| s.name == "drift")
+        .expect("drift scenario registered");
+    let lalbo3: PolicySpec = "lalbo3:25".parse().unwrap();
+    let lru: PolicySpec = "lru".parse().unwrap();
+    let tinylfu: PolicySpec = "tinylfu:0.3".parse().unwrap();
+    let mut lru_miss = 0.0;
+    let mut tinylfu_miss = 0.0;
+    for &seed in &REPORT_SEEDS {
+        let trace = drift.trace(&Scale::paper(), seed);
+        let l = run_spec_on_trace(&lalbo3, &lru, &trace);
+        let t = run_spec_on_trace(&lalbo3, &tinylfu, &trace);
+        assert!(
+            t.miss_ratio <= l.miss_ratio,
+            "seed {seed}: tinylfu {:.4} vs lru {:.4}",
+            t.miss_ratio,
+            l.miss_ratio
+        );
+        lru_miss += l.miss_ratio;
+        tinylfu_miss += t.miss_ratio;
+    }
+    assert!(
+        tinylfu_miss < lru_miss,
+        "mean miss ratio must strictly improve: tinylfu {:.4} vs lru {:.4}",
+        tinylfu_miss / REPORT_SEEDS.len() as f64,
+        lru_miss / REPORT_SEEDS.len() as f64
+    );
+}
+
+#[test]
+fn tinylfu_keeps_the_static_paper_scenario_close_to_lru() {
+    // Frequency decay must not wreck the static workload the paper tunes
+    // on: stay within 10% relative miss ratio of LRU there.
+    let paper = registry()[0];
+    let trace = paper.trace(&Scale::paper(), REPORT_SEEDS[0]);
+    let lalbo3: PolicySpec = "lalbo3:25".parse().unwrap();
+    let l = run_spec_on_trace(&lalbo3, &"lru".parse().unwrap(), &trace);
+    let t = run_spec_on_trace(&lalbo3, &"tinylfu".parse().unwrap(), &trace);
+    assert!(
+        t.miss_ratio <= l.miss_ratio * 1.10,
+        "tinylfu {:.4} vs lru {:.4}",
+        t.miss_ratio,
+        l.miss_ratio
+    );
+}

@@ -13,7 +13,7 @@ fn suite_matrix_covers_every_cell_deterministically() {
     assert_eq!(a.len(), 6 * 3);
     let b = suite.run().cells;
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.metrics, y.metrics, "{} {}", x.scenario, x.policy.name());
+        assert_eq!(x.metrics, y.metrics, "{} {}", x.scenario, x.policy_name);
         assert!(x.metrics.avg_latency_secs > 0.0);
         assert!(x.metrics.makespan_secs > 0.0);
         assert!(x.metrics.p50_latency_secs <= x.metrics.p95_latency_secs);
@@ -23,11 +23,14 @@ fn suite_matrix_covers_every_cell_deterministically() {
 
 #[test]
 fn paper_scenario_cells_equal_fig4_numbers() {
+    // The suite runs the spec-resolved trait path; `run_replicated` runs
+    // the compat enum path. Their `paper` cells must stay bit-equal.
     let mut suite = ScenarioSuite::paper_default();
     suite.scenarios.retain(|s| s.name == "paper");
-    for cell in suite.run().cells {
-        let fig4 = run_replicated(cell.policy, 25, &REPORT_SEEDS);
-        assert_eq!(cell.metrics, fig4, "{}", cell.policy.name());
+    for (policy, cell) in gfaas::bench::paper_policies().iter().zip(suite.run().cells) {
+        assert_eq!(cell.policy_name, policy.name());
+        let fig4 = run_replicated(*policy, 25, &REPORT_SEEDS);
+        assert_eq!(cell.metrics, fig4, "{}", cell.policy_name);
     }
 }
 

@@ -314,7 +314,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`], convertible from `usize` and
+    /// Length bounds for [`vec()`], convertible from `usize` and
     /// `Range<usize>` like the real crate's `SizeRange`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
