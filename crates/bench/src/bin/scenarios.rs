@@ -9,23 +9,29 @@
 //! # one matrix cell in isolation, on a non-default evictor:
 //! cargo run --release -p gfaas-bench --bin scenarios -- \
 //!     --policy lalbo3:25 --scenario drift --replacement tinylfu
+//! # the same matrix on an elastic fleet (queue-pressure autoscaler):
+//! cargo run --release -p gfaas-bench --bin scenarios -- \
+//!     --autoscale queue:min=4,max=16,up=12,down=2
 //! ```
 //!
 //! `--policy` and `--replacement` take registry specs (`lb`, `lalb`,
 //! `lalbo3[:limit]`; `lru`, `fifo`, `random`, `tinylfu[:decay]`);
-//! `--policy` and `--scenario` accept comma-separated lists. The `paper`
-//! rows at paper scale with default policies reproduce `fig4_comparison`'s
-//! WS 25 numbers exactly (same traces, same seeds, same cluster).
+//! `--policy` and `--scenario` accept comma-separated lists;
+//! `--autoscale` takes a `gfaas-core` autoscale spec and adds provisioned
+//! GPU-seconds and scale-event columns to the matrix. The `paper` rows at
+//! paper scale with default policies reproduce `fig4_comparison`'s WS 25
+//! numbers exactly (same traces, same seeds, same cluster).
 
 use gfaas_bench::{parse_cli_spec, ScenarioSuite, SpecKind, TablePrinter};
-use gfaas_core::PolicySpec;
+use gfaas_core::{AutoscaleSpec, PolicySpec};
 use gfaas_workload::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios [--smoke] [--scale paper|production] [--seeds a,b,c]\n\
          \x20                [--policy spec[,spec...]] [--scenario name[,name...]]\n\
-         \x20                [--replacement spec]"
+         \x20                [--replacement spec]\n\
+         \x20                [--autoscale queue:min=M,max=N,up=U,down=D[,cadence=S]]"
     );
     std::process::exit(2);
 }
@@ -46,6 +52,7 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     let mut policies: Option<Vec<PolicySpec>> = None;
     let mut scenarios: Option<Vec<String>> = None;
     let mut replacement: Option<PolicySpec> = None;
+    let mut autoscale: Option<AutoscaleSpec> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -89,6 +96,13 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
                 let Some(spec) = it.next() else { usage() };
                 replacement = Some(cli_spec(spec, SpecKind::Evictor));
             }
+            "--autoscale" => {
+                let Some(spec) = it.next() else { usage() };
+                autoscale = Some(spec.parse::<AutoscaleSpec>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                }));
+            }
             _ => usage(),
         }
     }
@@ -109,6 +123,7 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     if let Some(replacement) = replacement {
         suite.replacement = replacement;
     }
+    suite.autoscale = autoscale;
     if let Some(names) = scenarios {
         let known: Vec<&str> = suite.scenarios.iter().map(|s| s.name).collect();
         for n in &names {
@@ -139,6 +154,10 @@ fn main() {
     if suite.replacement != PolicySpec::bare("lru") {
         println!("Replacement policy: {}\n", suite.replacement);
     }
+    let autoscaled = suite.autoscale.is_some();
+    if let Some(autoscale) = &suite.autoscale {
+        println!("Autoscale: {autoscale}\n");
+    }
 
     let report = suite.run();
 
@@ -163,21 +182,27 @@ fn main() {
     }
     println!();
 
-    let t = TablePrinter::new(&[12, 8, 11, 11, 11, 11, 10, 11, 9]);
-    println!(
-        "{}",
-        t.header(&[
-            "scenario",
-            "policy",
-            "avg_lat(s)",
-            "p50(s)",
-            "p95(s)",
-            "p99(s)",
-            "miss",
-            "false_miss",
-            "sm_util",
-        ])
-    );
+    // The autoscaled matrix carries two extra columns (provisioned
+    // GPU-seconds and scale events); the default layout is untouched so
+    // published rows stay byte-identical.
+    let mut widths = vec![12, 8, 11, 11, 11, 11, 10, 11, 9];
+    let mut header = vec![
+        "scenario",
+        "policy",
+        "avg_lat(s)",
+        "p50(s)",
+        "p95(s)",
+        "p99(s)",
+        "miss",
+        "false_miss",
+        "sm_util",
+    ];
+    if autoscaled {
+        widths.extend([10, 9]);
+        header.extend(["gpu_s", "up/down"]);
+    }
+    let t = TablePrinter::new(&widths);
+    println!("{}", t.header(&header));
     let mut last = "";
     for cell in report.cells {
         if !last.is_empty() && last != cell.scenario {
@@ -185,20 +210,25 @@ fn main() {
         }
         last = cell.scenario;
         let m = &cell.metrics;
-        println!(
-            "{}",
-            t.row(&[
-                cell.scenario.to_string(),
-                cell.policy_name.clone(),
-                format!("{:.2}", m.avg_latency_secs),
-                format!("{:.2}", m.p50_latency_secs),
-                format!("{:.2}", m.p95_latency_secs),
-                format!("{:.2}", m.p99_latency_secs),
-                format!("{:.3}", m.miss_ratio),
-                format!("{:.3}", m.false_miss_ratio),
-                format!("{:.3}", m.sm_utilization),
-            ])
-        );
+        let mut row = vec![
+            cell.scenario.to_string(),
+            cell.policy_name.clone(),
+            format!("{:.2}", m.avg_latency_secs),
+            format!("{:.2}", m.p50_latency_secs),
+            format!("{:.2}", m.p95_latency_secs),
+            format!("{:.2}", m.p99_latency_secs),
+            format!("{:.3}", m.miss_ratio),
+            format!("{:.3}", m.false_miss_ratio),
+            format!("{:.3}", m.sm_utilization),
+        ];
+        if autoscaled {
+            row.push(format!("{:.0}", m.gpu_seconds_provisioned));
+            row.push(format!(
+                "{:.1}/{:.1}",
+                m.scale_up_events, m.scale_down_events
+            ));
+        }
+        println!("{}", t.row(&row));
     }
 
     if suite.is_paper_default() {

@@ -23,7 +23,7 @@
 //! [`PolicyRegistry`](gfaas_core::PolicyRegistry) — including evictors
 //! beyond the paper's LRU — can be swept without touching this crate.
 
-use gfaas_core::{Cluster, ClusterConfig, Policy, PolicySpec, RunMetrics};
+use gfaas_core::{AutoscaleSpec, Cluster, ClusterConfig, Policy, PolicySpec, RunMetrics};
 use gfaas_models::ModelRegistry;
 use gfaas_trace::{AzureTraceConfig, Trace, TraceStats};
 use gfaas_workload::{registry, Scale, Scenario};
@@ -66,8 +66,23 @@ pub fn run_spec_on_trace(
     replacement: &PolicySpec,
     trace: &Trace,
 ) -> RunMetrics {
+    run_configured_on_trace(policy, replacement, None, trace)
+}
+
+/// Runs one experiment on the paper testbed with explicit scheduler and
+/// replacement specs plus an optional autoscale spec. With
+/// `autoscale: None` the run is the fixed 12-GPU configuration every
+/// published number uses; with a spec, the cluster starts at 12 online
+/// GPUs (clamped into the spec's band) and scales on queue pressure.
+pub fn run_configured_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    autoscale: Option<&AutoscaleSpec>,
+    trace: &Trace,
+) -> RunMetrics {
     let mut cfg = ClusterConfig::paper_testbed(policy.clone());
     cfg.replacement = replacement.clone();
+    cfg.autoscale = autoscale.cloned();
     let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
     cluster.run(trace)
 }
@@ -109,6 +124,13 @@ pub struct AveragedMetrics {
     pub avg_duplicates: f64,
     /// Mean makespan (seconds).
     pub makespan_secs: f64,
+    /// Mean provisioned GPU-seconds (the autoscaling cost axis; equals
+    /// `12 × makespan` for fixed paper-testbed runs).
+    pub gpu_seconds_provisioned: f64,
+    /// Mean GPUs brought online per run (0 without autoscaling).
+    pub scale_up_events: f64,
+    /// Mean GPUs drained per run (0 without autoscaling).
+    pub scale_down_events: f64,
     /// Number of runs averaged.
     pub runs: usize,
 }
@@ -129,6 +151,9 @@ impl AveragedMetrics {
             sm_utilization: sum(|r| r.sm_utilization),
             avg_duplicates: sum(|r| r.avg_duplicates),
             makespan_secs: sum(|r| r.makespan_secs),
+            gpu_seconds_provisioned: sum(|r| r.gpu_seconds_provisioned),
+            scale_up_events: sum(|r| r.scale_up_events as f64),
+            scale_down_events: sum(|r| r.scale_down_events as f64),
             runs: runs.len(),
         }
     }
@@ -137,7 +162,7 @@ impl AveragedMetrics {
 /// A policy × scenario sweep: every registered scenario's trace is
 /// generated once per seed, every policy runs on the identical traces,
 /// and each cell reports seed-averaged metrics. The whole sweep is a pure
-/// function of (scale, policies, replacement, seeds).
+/// function of (scale, policies, replacement, autoscale, seeds).
 #[derive(Debug, Clone)]
 pub struct ScenarioSuite {
     /// Workload volume (paper / production / smoke).
@@ -149,6 +174,9 @@ pub struct ScenarioSuite {
     /// Replacement spec every cell runs under (default `lru`; set
     /// `"tinylfu"` etc. to sweep a different evictor).
     pub replacement: PolicySpec,
+    /// Elastic-capacity spec every cell runs under (`None`, the default,
+    /// is the paper's fixed 12-GPU testbed).
+    pub autoscale: Option<AutoscaleSpec>,
     /// Trace realisations to average over.
     pub seeds: Vec<u64>,
 }
@@ -186,6 +214,7 @@ impl ScenarioSuite {
             scenarios: registry(),
             policies: paper_policy_specs(),
             replacement: PolicySpec::bare("lru"),
+            autoscale: None,
             seeds,
         }
     }
@@ -209,6 +238,7 @@ impl ScenarioSuite {
             && self.seeds == REPORT_SEEDS
             && self.policies == paper_policy_specs()
             && self.replacement == PolicySpec::bare("lru")
+            && self.autoscale.is_none()
             && self.scenarios.len() == registry().len()
     }
 
@@ -239,12 +269,23 @@ impl ScenarioSuite {
                 .map(|&s| sc.trace(&self.scale, s))
                 .collect();
             if let Some(first) = traces.first() {
-                scenario_stats.push((sc.name, first.stats()));
+                // Horizon-aware: the registry knows each scenario's
+                // intended horizon, so trailing idle minutes (e.g. a
+                // diurnal trough ending the trace) count toward burstiness
+                // instead of being silently dropped.
+                scenario_stats.push((sc.name, first.stats_with_horizon(self.scale.horizon_secs())));
             }
             for (policy, name) in self.policies.iter().zip(&policy_names) {
                 let runs: Vec<RunMetrics> = traces
                     .iter()
-                    .map(|t| run_spec_on_trace(policy, &self.replacement, t))
+                    .map(|t| {
+                        run_configured_on_trace(
+                            policy,
+                            &self.replacement,
+                            self.autoscale.as_ref(),
+                            t,
+                        )
+                    })
                     .collect();
                 cells.push(SuiteCell {
                     scenario: sc.name,
@@ -392,9 +433,30 @@ mod tests {
         s.replacement = PolicySpec::bare("tinylfu");
         assert!(!s.is_paper_default());
         let mut s = ScenarioSuite::paper_default();
+        s.autoscale = Some(AutoscaleSpec::default());
+        assert!(!s.is_paper_default());
+        let mut s = ScenarioSuite::paper_default();
         s.policies = vec![Policy::lalbo3().into()];
         assert!(!s.is_paper_default());
         assert!(!ScenarioSuite::smoke().is_paper_default());
+    }
+
+    #[test]
+    fn autoscaled_suite_is_deterministic_and_reports_scale_activity() {
+        let mut suite = ScenarioSuite::smoke();
+        suite.scenarios.retain(|s| s.name == "diurnal");
+        suite.policies = vec![Policy::lalbo3().into()];
+        suite.autoscale = Some("queue:min=2,max=8,up=6,down=1,cadence=2".parse().unwrap());
+        let a = suite.run();
+        let b = suite.run();
+        assert_eq!(a.cells.len(), 1);
+        let m = &a.cells[0].metrics;
+        assert_eq!(m, &b.cells[0].metrics, "autoscaled sweeps are seeded");
+        assert!(m.gpu_seconds_provisioned > 0.0);
+        // The elastic fleet must not bill the full 12-GPU testbed for the
+        // whole makespan (the smoke diurnal load needs nowhere near it).
+        assert!(m.gpu_seconds_provisioned < 12.0 * m.makespan_secs);
+        assert!(m.scale_down_events > 0.0, "quiet smoke load must shed GPUs");
     }
 
     #[test]

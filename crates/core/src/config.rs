@@ -4,6 +4,7 @@ use std::fmt;
 
 use gfaas_gpu::GpuSpec;
 
+use crate::autoscale::{AutoscaleError, AutoscaleSpec};
 use crate::policy::{PolicyError, PolicySpec};
 
 /// How Algorithm 2 treats a request whose model is cached only on busy
@@ -56,6 +57,12 @@ pub enum ConfigError {
     ZeroBatch,
     /// The scheduler or replacement spec failed to resolve.
     Policy(PolicyError),
+    /// The autoscale spec is malformed or inconsistent.
+    Autoscale(AutoscaleError),
+    /// Autoscaling and per-GPU heterogeneous specs were both requested;
+    /// the elastic fleet is sized by `autoscale.max_gpus`, so a
+    /// `num_gpus`-length spec list cannot describe it.
+    AutoscaleWithHetero,
 }
 
 impl fmt::Display for ConfigError {
@@ -77,6 +84,10 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ZeroBatch => write!(f, "batch_size must be positive"),
             ConfigError::Policy(e) => write!(f, "{e}"),
+            ConfigError::Autoscale(e) => write!(f, "{e}"),
+            ConfigError::AutoscaleWithHetero => {
+                write!(f, "autoscale and hetero_specs cannot be combined")
+            }
         }
     }
 }
@@ -86,6 +97,12 @@ impl std::error::Error for ConfigError {}
 impl From<PolicyError> for ConfigError {
     fn from(e: PolicyError) -> Self {
         ConfigError::Policy(e)
+    }
+}
+
+impl From<AutoscaleError> for ConfigError {
+    fn from(e: AutoscaleError) -> Self {
+        ConfigError::Autoscale(e)
     }
 }
 
@@ -136,6 +153,14 @@ pub struct ClusterConfig {
     /// Probability that a dispatched inference crashes partway through
     /// (failure injection; the request is retried). 0 disables.
     pub crash_rate: f64,
+    /// Elastic capacity: when set, the cluster allocates
+    /// `autoscale.max_gpus` devices, starts with `num_gpus` of them
+    /// online (clamped into `[min_gpus, max_gpus]`), and lets the spec's
+    /// autoscaler scale the online fleet on queue pressure (see
+    /// [`crate::autoscale`]). `None` (the default everywhere) is the
+    /// paper's fixed testbed; every published number is produced with
+    /// autoscaling off.
+    pub autoscale: Option<AutoscaleSpec>,
     /// RNG seed (random replacement, tie-breaking, crash injection).
     pub seed: u64,
     /// Mirror GPU status / LRU lists / latencies into the Datastore, as the
@@ -165,6 +190,7 @@ impl ClusterConfig {
             batch_size: 32,
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: PAPER_MEM_HEADROOM_MIB,
+            autoscale: None,
             crash_rate: 0.0,
             seed: 0x6fa5,
             report_to_datastore: false,
@@ -185,6 +211,7 @@ impl ClusterConfig {
             batch_size: 32,
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: 0,
+            autoscale: None,
             crash_rate: 0.0,
             seed: 1,
             report_to_datastore: false,
@@ -218,6 +245,12 @@ impl ClusterConfig {
         }
         if self.batch_size == 0 {
             return Err(ConfigError::ZeroBatch);
+        }
+        if let Some(autoscale) = &self.autoscale {
+            autoscale.validate()?;
+            if self.hetero_specs.is_some() {
+                return Err(ConfigError::AutoscaleWithHetero);
+            }
         }
         Ok(())
     }
@@ -277,6 +310,24 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::ZeroBatch));
         let z = ClusterConfig::test(0, 1000, Policy::lalb());
         assert_eq!(z.validate(), Err(ConfigError::NoGpus));
+    }
+
+    #[test]
+    fn validate_checks_the_autoscale_spec() {
+        let mut c = ClusterConfig::test(4, 1000, Policy::lalb());
+        c.autoscale = Some("queue:min=2,max=8,up=4,down=1".parse().unwrap());
+        assert!(c.validate().is_ok());
+        // Inconsistent bounds surface as ConfigError::Autoscale…
+        let mut bad = AutoscaleSpec::default();
+        bad.min_gpus = 9;
+        bad.max_gpus = 3;
+        c.autoscale = Some(bad);
+        assert!(matches!(c.validate(), Err(ConfigError::Autoscale(_))));
+        // …and heterogeneous fleets cannot autoscale.
+        let mut c = ClusterConfig::test(2, 1000, Policy::lalb());
+        c.autoscale = Some(AutoscaleSpec::default());
+        c.hetero_specs = Some(vec![GpuSpec::test(1000); 2]);
+        assert_eq!(c.validate(), Err(ConfigError::AutoscaleWithHetero));
     }
 
     #[test]

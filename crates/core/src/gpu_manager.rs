@@ -43,6 +43,23 @@ pub struct InFlight {
     pub seq: u64,
 }
 
+/// Provisioning state of a GPU in an elastic cluster.
+///
+/// Fixed clusters keep every unit [`UnitState::Online`] for the whole
+/// run; the other states exist for the autoscaler
+/// ([`crate::autoscale`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitState {
+    /// Not provisioned: invisible to the scheduler, holds no models.
+    Offline,
+    /// Provisioned and dispatchable.
+    Online,
+    /// Scale-down victim: finishes its in-flight request and local queue
+    /// but receives no new work; once drained, its resident models are
+    /// evicted and it goes [`UnitState::Offline`].
+    Draining,
+}
+
 /// Per-GPU execution state.
 #[derive(Debug)]
 pub struct GpuUnit {
@@ -59,10 +76,18 @@ pub struct GpuUnit {
     /// When the GPU last became idle (for the LB baseline's longest-idle
     /// selection).
     pub idle_since: SimTime,
+    /// Provisioning state ([`UnitState::Online`] in fixed clusters).
+    pub state: UnitState,
+    /// When the current online interval began (meaningful while not
+    /// [`UnitState::Offline`]).
+    pub online_since: SimTime,
+    /// Provisioned time accumulated over *completed* online intervals;
+    /// the open interval is closed by [`GpuUnit::provisioned_until`].
+    pub provisioned: SimDuration,
 }
 
 impl GpuUnit {
-    /// Wraps a fresh device.
+    /// Wraps a fresh device, online from time zero.
     pub fn new(device: GpuDevice) -> Self {
         GpuUnit {
             device,
@@ -70,7 +95,21 @@ impl GpuUnit {
             in_flight: None,
             hits: 0,
             idle_since: SimTime::ZERO,
+            state: UnitState::Online,
+            online_since: SimTime::ZERO,
+            provisioned: SimDuration::ZERO,
         }
+    }
+
+    /// Total provisioned (online or draining) time up to `end`: completed
+    /// intervals plus the still-open one. The integral behind
+    /// `gpu_seconds_provisioned`.
+    pub fn provisioned_until(&self, end: SimTime) -> SimDuration {
+        let open = match self.state {
+            UnitState::Offline => SimDuration::ZERO,
+            UnitState::Online | UnitState::Draining => end.duration_since(self.online_since),
+        };
+        self.provisioned + open
     }
 
     /// The device id.
@@ -89,13 +128,23 @@ impl GpuUnit {
     /// request and local queue (paper: "the time to wait for the busy GPU
     /// to finish its current request and requests already queued in its
     /// local queue"). If the in-flight request is still uploading its
-    /// model, its own inference is still ahead and counts too. Local-queue
-    /// entries are hits, so they cost only inference time. `infer_time`
-    /// maps (model, batch) to latency.
+    /// model, its own inference is still ahead and counts too.
+    ///
+    /// Local-queue entries are charged their inference time plus — for any
+    /// queued request whose model is *not* resident on this device — one
+    /// model upload (`load_time`), counted once per distinct missing
+    /// model. Algorithm 2 only queues residents locally, so under the
+    /// paper's scheduler the load term is zero and the estimate is
+    /// unchanged; the term matters for custom policies (and crash/drain
+    /// races) that leave non-resident work queued, where the old
+    /// infer-only sum biased the wait-vs-load comparison toward waiting.
+    /// `infer_time` maps (model, batch) to latency; `load_time` maps a
+    /// model to its upload time on this GPU.
     pub fn estimated_wait(
         &self,
         now: SimTime,
         infer_time: impl Fn(ModelId, usize) -> SimDuration,
+        load_time: impl Fn(ModelId) -> SimDuration,
     ) -> SimDuration {
         let mut wait = self
             .device
@@ -107,22 +156,34 @@ impl GpuUnit {
                 wait += infer_time(f.request.model, f.request.batch);
             }
         }
-        wait + self
-            .local_queue
-            .iter()
-            .map(|r| infer_time(r.model, r.batch))
-            .sum()
+        let mut pending_loads: Vec<ModelId> = Vec::new();
+        for r in &self.local_queue {
+            if !self.device.has_model(r.model) && !pending_loads.contains(&r.model) {
+                pending_loads.push(r.model);
+                wait += load_time(r.model);
+            }
+            wait += infer_time(r.model, r.batch);
+        }
+        wait
     }
 
-    /// Estimated finish time of a *new* hit request appended after the
-    /// queue (wait + its own inference).
+    /// Estimated finish time of a *new* request appended after the queue:
+    /// the drain estimate, plus the request's own upload when its model is
+    /// not yet resident (and not already charged by a queued request),
+    /// plus its inference.
     pub fn estimated_finish(
         &self,
         now: SimTime,
         request: &Request,
         infer_time: impl Fn(ModelId, usize) -> SimDuration,
+        load_time: impl Fn(ModelId) -> SimDuration,
     ) -> SimDuration {
-        self.estimated_wait(now, &infer_time) + infer_time(request.model, request.batch)
+        let mut finish = self.estimated_wait(now, &infer_time, &load_time);
+        let charged_by_queue = self.local_queue.iter().any(|r| r.model == request.model);
+        if !self.device.has_model(request.model) && !charged_by_queue {
+            finish += load_time(request.model);
+        }
+        finish + infer_time(request.model, request.batch)
     }
 }
 
@@ -159,11 +220,20 @@ mod tests {
         Request::new(id, 0, ModelId(model), 32, SimTime::ZERO)
     }
 
+    /// No queued model misses residency in these tests unless stated, so
+    /// the load closure is a loud sentinel: charging it is a bug.
+    fn no_load(_: ModelId) -> SimDuration {
+        SimDuration::from_secs(9999)
+    }
+
     #[test]
     fn idle_unit_has_zero_wait() {
         let u = unit();
         assert!(u.is_idle());
-        assert_eq!(u.estimated_wait(t(0), |_, _| d(1)), SimDuration::ZERO);
+        assert_eq!(
+            u.estimated_wait(t(0), |_, _| d(1), no_load),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -182,10 +252,10 @@ mod tests {
         });
         u.local_queue.push_back(req(2, 0));
         u.local_queue.push_back(req(3, 0));
-        let wait = u.estimated_wait(ready, |_, _| d(2));
-        // Remaining inference (10 s) + 2 local hits × 2 s.
+        let wait = u.estimated_wait(ready, |_, _| d(2), no_load);
+        // Remaining inference (10 s) + 2 resident local hits × 2 s.
         assert_eq!(wait, d(14));
-        let finish = u.estimated_finish(ready, &req(4, 0), |_, _| d(2));
+        let finish = u.estimated_finish(ready, &req(4, 0), |_, _| d(2), no_load);
         assert_eq!(finish, d(16));
         assert!(!u.is_idle());
     }
@@ -196,10 +266,110 @@ mod tests {
         let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
         u.device.complete_load(ready, ModelId(0)).unwrap();
         u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
-        let early = u.estimated_wait(ready, |_, _| d(0));
-        let late = u.estimated_wait(ready + d(6), |_, _| d(0));
+        let early = u.estimated_wait(ready, |_, _| d(0), no_load);
+        let late = u.estimated_wait(ready + d(6), |_, _| d(0), no_load);
         assert_eq!(early, d(10));
         assert_eq!(late, d(4));
+    }
+
+    #[test]
+    fn wait_charges_one_load_per_distinct_missing_model() {
+        let mut u = unit();
+        // Device busy running model 0 until t=10; the local queue holds
+        // two requests for missing model 7, one for missing model 8, and
+        // one resident hit for model 0.
+        let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
+        u.device.complete_load(ready, ModelId(0)).unwrap();
+        u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
+        u.in_flight = Some(InFlight {
+            request: req(1, 0),
+            phase: Phase::Running,
+            was_hit: true,
+            started: ready,
+            seq: 0,
+        });
+        u.local_queue.push_back(req(2, 7));
+        u.local_queue.push_back(req(3, 7));
+        u.local_queue.push_back(req(4, 8));
+        u.local_queue.push_back(req(5, 0));
+        let wait = u.estimated_wait(ready, |_, _| d(2), |_| d(3));
+        // 10 (in flight) + 4 × 2 (inferences) + 2 × 3 (loads of 7 and 8,
+        // each charged once).
+        assert_eq!(wait, d(24));
+    }
+
+    #[test]
+    fn finish_charges_the_new_request_load_only_when_missing_and_uncharged() {
+        let mut u = unit();
+        let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
+        u.device.complete_load(ready, ModelId(0)).unwrap();
+        u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
+        u.in_flight = Some(InFlight {
+            request: req(1, 0),
+            phase: Phase::Running,
+            was_hit: true,
+            started: ready,
+            seq: 0,
+        });
+        // Missing model, nothing queued for it: wait 10 + load 3 + infer 2.
+        let cold = u.estimated_finish(ready, &req(2, 7), |_, _| d(2), |_| d(3));
+        assert_eq!(cold, d(15));
+        // Resident model: no load term.
+        let hit = u.estimated_finish(ready, &req(3, 0), |_, _| d(2), |_| d(3));
+        assert_eq!(hit, d(12));
+        // Missing model already charged by a queued request: the new
+        // request rides the same upload (wait 10 + load 3 + infer 2,
+        // plus its own infer 2).
+        u.local_queue.push_back(req(4, 7));
+        let shared = u.estimated_finish(ready, &req(5, 7), |_, _| d(2), |_| d(3));
+        assert_eq!(shared, d(17));
+    }
+
+    #[test]
+    fn estimate_matches_actual_drain_replayed_on_the_device() {
+        // Accuracy check against real device transitions: the unit runs
+        // m0 until t=10 with a local queue of [m0 hit, m7 (not resident)].
+        // The estimator must predict exactly the drain time the device
+        // realises when the schedule is replayed: 10 (in flight) + 2 (m0
+        // hit) + 3 (m7 load) + 2 (m7 infer) = 17.
+        let infer = |_: ModelId, _: usize| d(2);
+        let load = |_: ModelId| d(3);
+        let mut u = unit();
+        let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
+        u.device.complete_load(ready, ModelId(0)).unwrap();
+        u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
+        u.in_flight = Some(InFlight {
+            request: req(1, 0),
+            phase: Phase::Running,
+            was_hit: true,
+            started: ready,
+            seq: 0,
+        });
+        u.local_queue.push_back(req(2, 0));
+        u.local_queue.push_back(req(3, 7));
+        let estimate = u.estimated_wait(ready, infer, load);
+
+        // Replay the actual schedule.
+        let end_inflight = ready + d(10);
+        u.device
+            .complete_inference(end_inflight, ModelId(0))
+            .unwrap();
+        let hit_done = u
+            .device
+            .start_inference(end_inflight, ModelId(0), infer(ModelId(0), 32))
+            .unwrap();
+        u.device.complete_inference(hit_done, ModelId(0)).unwrap();
+        let (_, m7_ready) = u
+            .device
+            .start_load_timed(hit_done, ModelId(7), 100 * MIB, load(ModelId(7)))
+            .unwrap();
+        u.device.complete_load(m7_ready, ModelId(7)).unwrap();
+        let drained = u
+            .device
+            .start_inference(m7_ready, ModelId(7), infer(ModelId(7), 32))
+            .unwrap();
+        assert_eq!(drained.duration_since(ready), estimate);
+        assert_eq!(estimate, d(17));
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! [`Policy`] / [`ReplacementPolicy`] enums remain as thin constructors
 //! for the paper's closed set.
 //!
+//! Beyond the paper's fixed 12-GPU testbed, [`autoscale`] adds elastic
+//! capacity: an open [`autoscale::Autoscaler`] trait stepped on a virtual
+//! cadence over a borrowed [`cluster::ScaleView`], with a builtin
+//! queue-pressure hysteresis policy
+//! (`ClusterConfig::autoscale = Some("queue:min=4,max=16,up=12,down=2".parse()?)`)
+//! that provisions cold GPUs under backlog and drains idle ones — no
+//! request lost — when the queue stays quiet.
+//!
 //! [`cluster::Cluster`] wires everything to the discrete-event engine and
 //! runs a workload trace to completion, producing [`metrics::RunMetrics`] —
 //! exactly the quantities the paper's Figs 4–7 plot (average latency,
@@ -31,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod cache;
 pub mod cluster;
 pub mod config;
@@ -42,8 +51,11 @@ pub mod request;
 pub mod scheduler;
 pub mod tinylfu;
 
+pub use autoscale::{
+    AutoscaleError, AutoscaleSpec, Autoscaler, QueuePressureAutoscaler, ScaleDecision,
+};
 pub use cache::{CacheManager, Evictor, FifoEvictor, LruEvictor, RandomEvictor, ReplacementPolicy};
-pub use cluster::{Cluster, SchedCtx};
+pub use cluster::{Cluster, ScaleView, SchedCtx};
 pub use config::{ClusterConfig, ConfigError};
 pub use live::{LiveResponse, LiveServer};
 pub use metrics::RunMetrics;

@@ -106,6 +106,9 @@ impl MetricsCollector {
             avg_duplicates: self.duplicates.average_until(end),
             makespan_secs: end.as_secs_f64(),
             queue_peak: self.queue_peak,
+            gpu_seconds_provisioned: 0.0,
+            scale_up_events: 0,
+            scale_down_events: 0,
         }
     }
 }
@@ -145,6 +148,18 @@ pub struct RunMetrics {
     pub makespan_secs: f64,
     /// Global-queue high-water mark.
     pub queue_peak: usize,
+    /// Integrated provisioned GPU capacity over the run, in GPU-seconds —
+    /// the cost side of the autoscaling trade-off. A fixed cluster
+    /// reports exactly `num_gpus × makespan`; an elastic cluster counts
+    /// each GPU only while it is online or draining. Filled in by the
+    /// cluster driver (the collector does not see provisioning events).
+    pub gpu_seconds_provisioned: f64,
+    /// GPUs brought online by the autoscaler over the run (0 for fixed
+    /// clusters).
+    pub scale_up_events: u64,
+    /// GPUs drained offline by the autoscaler over the run (0 for fixed
+    /// clusters).
+    pub scale_down_events: u64,
 }
 
 impl RunMetrics {

@@ -41,9 +41,11 @@ pub struct TraceStats {
     /// the per-minute request counts. 0 for a perfectly steady trace (the
     /// paper's normalised 325/min gives ≈0); a homogeneous Poisson process
     /// at rate λ/min gives ≈ 1/√λ; on-off and diurnal arrivals push it
-    /// well above that. Like [`Trace::minute_counts`], the window ends at
-    /// the last arrival — a trace alone does not know its intended
-    /// horizon, so trailing idle minutes are not observed.
+    /// well above that. Under [`Trace::stats`] the window ends at the last
+    /// arrival — a trace alone does not know its intended horizon, so
+    /// trailing idle minutes are not observed; callers that do know the
+    /// horizon (e.g. a scenario registry) should use
+    /// [`Trace::stats_with_horizon`], which counts them.
     pub minute_cv: f64,
 }
 
@@ -91,13 +93,32 @@ impl Trace {
             .map(|(m, _)| m)
     }
 
-    /// Per-minute request counts over the trace horizon (the quantity the
-    /// paper normalises to 325).
+    /// Per-minute request counts over the observed window, which ends at
+    /// the last arrival (the quantity the paper normalises to 325). When
+    /// the intended horizon is known, prefer
+    /// [`Trace::minute_counts_with_horizon`] — a trace ending mid-off-phase
+    /// otherwise under-counts trailing idle minutes.
     pub fn minute_counts(&self) -> Vec<usize> {
-        let Some(last) = self.requests.last() else {
+        match self.requests.last() {
+            Some(last) => self.minute_counts_with_horizon(last.at.as_secs_f64()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Per-minute request counts over `[0, horizon_secs)`. Minutes after
+    /// the last arrival but inside the horizon count as (observed) zeros;
+    /// arrivals past the horizon still extend the window so no request is
+    /// dropped.
+    pub fn minute_counts_with_horizon(&self, horizon_secs: f64) -> Vec<usize> {
+        let last_minute = self
+            .requests
+            .last()
+            .map(|r| (r.at.as_secs_f64() / 60.0) as usize + 1);
+        let horizon_minutes = (horizon_secs / 60.0).ceil() as usize;
+        let minutes = horizon_minutes.max(last_minute.unwrap_or(0));
+        if minutes == 0 {
             return Vec::new();
-        };
-        let minutes = (last.at.as_secs_f64() / 60.0) as usize + 1;
+        }
         let mut counts = vec![0usize; minutes];
         for r in &self.requests {
             counts[(r.at.as_secs_f64() / 60.0) as usize] += 1;
@@ -112,8 +133,45 @@ impl Trace {
         self.requests.windows(2).all(|w| w[0].at <= w[1].at)
     }
 
-    /// Computes the summary statistics.
+    /// Computes the summary statistics over the observed window (ending at
+    /// the last arrival). Use [`Trace::stats_with_horizon`] when the
+    /// trace's intended horizon is known.
     pub fn stats(&self) -> TraceStats {
+        self.stats_inner(self.minute_counts(), self.span().map(|s| s / 60.0))
+    }
+
+    /// Computes the summary statistics horizon-aware: per-minute counts
+    /// (and therefore `minute_cv`) cover `[0, horizon_secs)` including
+    /// trailing idle minutes, and `rate_per_min` is normalised over the
+    /// horizon rather than the first→last-arrival span. This is the
+    /// honest burstiness of a generated trace whose arrival process was
+    /// sampled over a known horizon — a bursty trace ending mid-off-phase
+    /// otherwise understates its own variability.
+    pub fn stats_with_horizon(&self, horizon_secs: f64) -> TraceStats {
+        let counts = self.minute_counts_with_horizon(horizon_secs);
+        // Rate over the actual window (not the whole-minute bin count,
+        // which would bias fractional-minute horizons low); arrivals
+        // past the horizon extend the window like they extend the bins.
+        let window_secs = self
+            .requests
+            .last()
+            .map_or(horizon_secs, |r| horizon_secs.max(r.at.as_secs_f64()));
+        let minutes = (window_secs > 0.0).then_some(window_secs / 60.0);
+        self.stats_inner(counts, minutes)
+    }
+
+    /// First→last arrival span in seconds, `None` when empty.
+    fn span(&self) -> Option<f64> {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(f), Some(l)) => Some(l.at.duration_since(f.at).as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Shared statistics core; `rate_minutes` is the window (in minutes)
+    /// the arrival rate is averaged over (`None` ⇒ degenerate window, the
+    /// raw total is reported as the rate, matching the span convention).
+    fn stats_inner(&self, per_min: Vec<usize>, rate_minutes: Option<f64>) -> TraceStats {
         let total = self.requests.len();
         let counts = self.function_counts();
         let mut by_count: Vec<usize> = counts.values().copied().collect();
@@ -125,12 +183,8 @@ impl Trace {
             models.dedup();
             models.len()
         };
-        let span_secs = match (self.requests.first(), self.requests.last()) {
-            (Some(f), Some(l)) => l.at.duration_since(f.at).as_secs_f64(),
-            _ => 0.0,
-        };
+        let span_secs = self.span().unwrap_or(0.0);
         let minute_cv = {
-            let per_min = self.minute_counts();
             let n = per_min.len() as f64;
             let mean = per_min.iter().sum::<usize>() as f64 / n.max(1.0);
             if per_min.is_empty() || mean == 0.0 {
@@ -157,10 +211,9 @@ impl Trace {
                 top15 as f64 / total as f64
             },
             span_secs,
-            rate_per_min: if span_secs > 0.0 {
-                total as f64 / (span_secs / 60.0)
-            } else {
-                total as f64
+            rate_per_min: match rate_minutes {
+                Some(m) if m > 0.0 => total as f64 / m,
+                _ => total as f64,
             },
             minute_cv,
         }
@@ -327,6 +380,68 @@ mod tests {
         assert_eq!(bursty.minute_counts(), vec![8, 0, 1]);
         let cv = bursty.stats().minute_cv;
         assert!((cv - (38.0f64 / 3.0).sqrt() / 3.0).abs() < 1e-12, "cv {cv}");
+    }
+
+    #[test]
+    fn horizon_counts_include_trailing_idle_minutes() {
+        // All 6 requests land in minute 0 of a 3-minute horizon.
+        let t = Trace::new((0..6).map(|i| req(i as f64, i, 0)).collect::<Vec<_>>());
+        assert_eq!(t.minute_counts(), vec![6]);
+        assert_eq!(t.minute_counts_with_horizon(180.0), vec![6, 0, 0]);
+        // A fractional horizon rounds up to whole minutes.
+        assert_eq!(t.minute_counts_with_horizon(61.0), vec![6, 0]);
+        // Arrivals beyond the horizon still extend the window.
+        assert_eq!(t.minute_counts_with_horizon(30.0), vec![6]);
+        // An empty trace over a known horizon is that many idle minutes.
+        assert_eq!(
+            Trace::default().minute_counts_with_horizon(120.0),
+            vec![0, 0]
+        );
+        assert!(Trace::default().minute_counts_with_horizon(0.0).is_empty());
+    }
+
+    #[test]
+    fn stats_with_horizon_sees_the_off_phase() {
+        // A burst confined to minute 0 of a 4-minute window: the
+        // last-arrival window sees a single steady minute (CV 0), the
+        // horizon window sees counts [6, 0, 0, 0] — maximal burstiness.
+        let t = Trace::new((0..6).map(|i| req(i as f64, i, 0)).collect::<Vec<_>>());
+        assert_eq!(t.stats().minute_cv, 0.0, "horizon-blind stats are steady");
+        let s = t.stats_with_horizon(240.0);
+        // Counts [6,0,0,0]: mean 1.5, std √(3·1.5² + 4.5²)/2 = √3 · 1.5 /
+        // ... population std = sqrt(((6-1.5)² + 3·1.5²)/4) = 2.598.
+        assert!(
+            (s.minute_cv - 3.0f64.sqrt()).abs() < 1e-12,
+            "{}",
+            s.minute_cv
+        );
+        assert!((s.rate_per_min - 1.5).abs() < 1e-12);
+        // A fractional-minute horizon normalises over the true window,
+        // not the whole-minute bin count: 6 requests / 1.5 min = 4.
+        let s90 = t.stats_with_horizon(90.0);
+        assert!(
+            (s90.rate_per_min - 4.0).abs() < 1e-12,
+            "{}",
+            s90.rate_per_min
+        );
+        // Span and per-function shares are unaffected by the horizon.
+        assert_eq!(s.span_secs, t.stats().span_secs);
+        assert_eq!(s.total, 6);
+    }
+
+    #[test]
+    fn stats_with_horizon_matches_stats_when_trace_fills_the_window() {
+        let t = Trace::new(
+            (0..12)
+                .map(|i| req(15.0 * i as f64, i % 3, 0))
+                .collect::<Vec<_>>(),
+        );
+        // Last arrival at 165 s → the observed window is 3 minutes either way.
+        let a = t.stats();
+        let b = t.stats_with_horizon(180.0);
+        assert_eq!(a.minute_cv, b.minute_cv);
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.working_set, b.working_set);
     }
 
     #[test]

@@ -191,14 +191,7 @@ impl Scenario {
                 },
                 zipf,
             ),
-            ScenarioKind::Diurnal => spec(
-                Arrival::Diurnal {
-                    mean_rate_per_min: rpm,
-                    relative_amplitude: 0.8,
-                    period_secs: horizon,
-                },
-                zipf,
-            ),
+            ScenarioKind::Diurnal => spec(Arrival::diurnal(rpm, 0.8, horizon), zipf),
             ScenarioKind::FlashCrowd => spec(
                 Arrival::Replay {
                     per_minute: vec![scale.requests_per_min; scale.minutes],

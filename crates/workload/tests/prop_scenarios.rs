@@ -6,9 +6,10 @@
 //! * Every scenario's trace survives the CSV write→read cycle with a
 //!   byte-identical re-serialisation.
 
+use gfaas_sim::rng::DetRng;
 use gfaas_trace::azure::{AZURE_TOTAL_FUNCTIONS, AZURE_ZIPF_ALPHA, PAPER_REQUESTS_PER_MIN};
-use gfaas_trace::{AzureTraceConfig, Trace};
-use gfaas_workload::{registry, Scale};
+use gfaas_trace::{AzureTraceConfig, Trace, TraceRequest};
+use gfaas_workload::{registry, Arrival, Scale};
 use proptest::prelude::*;
 
 proptest! {
@@ -58,6 +59,67 @@ proptest! {
                 "{} seed {seed}: volume {vol}, want [{lo}, {hi}]", sc.name
             );
         }
+    }
+
+    /// The diurnal thinning sampler is faithful to its sinusoid for any
+    /// legal amplitude and seed: per-minute counts correlate strongly with
+    /// the analytic rate curve, and the peak-half/trough-half volume ratio
+    /// matches the closed form (1 + 2a/π)/(1 − 2a/π). An amplitude
+    /// mishandled by the thinning acceptance (the pre-validation bug class:
+    /// a negative instantaneous rate silently clamped) breaks both.
+    #[test]
+    fn diurnal_minute_counts_track_the_sinusoid(
+        seed in any::<u64>(),
+        amplitude_pct in 20u32..=90,
+    ) {
+        let amplitude = amplitude_pct as f64 / 100.0;
+        let minutes = 30usize;
+        let horizon = 60.0 * minutes as f64;
+        let mean = 600.0; // per minute: enough volume to beat Poisson noise
+        let arrival = Arrival::diurnal(mean, amplitude, horizon);
+        let trace = Trace::new(
+            arrival
+                .sample(horizon, &mut DetRng::new(seed))
+                .into_iter()
+                .map(|at| TraceRequest { at, function: 0, model: 0 })
+                .collect(),
+        );
+        let counts = trace.minute_counts_with_horizon(horizon);
+        prop_assert_eq!(counts.len(), minutes);
+
+        // Peak half (sin > 0) vs trough half.
+        let first: usize = counts[..minutes / 2].iter().sum();
+        let second: usize = counts[minutes / 2..].iter().sum();
+        let expected_ratio =
+            (1.0 + 2.0 * amplitude / std::f64::consts::PI)
+            / (1.0 - 2.0 * amplitude / std::f64::consts::PI);
+        let ratio = first as f64 / second.max(1) as f64;
+        prop_assert!(
+            (ratio / expected_ratio - 1.0).abs() < 0.15,
+            "seed {seed} a {amplitude:.2}: half ratio {ratio:.3}, want ≈{expected_ratio:.3}"
+        );
+
+        // Minute-resolution shape: Pearson correlation with the analytic
+        // per-minute rate must be strong.
+        let expected: Vec<f64> = (0..minutes)
+            .map(|m| {
+                let t = 60.0 * (m as f64 + 0.5);
+                mean * (1.0 + amplitude * (std::f64::consts::TAU * t / horizon).sin())
+            })
+            .collect();
+        let n = minutes as f64;
+        let mean_c = counts.iter().sum::<usize>() as f64 / n;
+        let mean_e = expected.iter().sum::<f64>() / n;
+        let (mut cov, mut var_c, mut var_e) = (0.0, 0.0, 0.0);
+        for (c, e) in counts.iter().zip(&expected) {
+            let dc = *c as f64 - mean_c;
+            let de = e - mean_e;
+            cov += dc * de;
+            var_c += dc * dc;
+            var_e += de * de;
+        }
+        let r = cov / (var_c.sqrt() * var_e.sqrt()).max(1e-12);
+        prop_assert!(r > 0.7, "seed {seed} a {amplitude:.2}: correlation {r:.3}");
     }
 
     /// CSV round trip: writing a scenario's trace, reading it back, and
