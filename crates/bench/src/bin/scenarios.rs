@@ -31,7 +31,9 @@ fn usage() -> ! {
         "usage: scenarios [--smoke] [--scale paper|production] [--seeds a,b,c]\n\
          \x20                [--policy spec[,spec...]] [--scenario name[,name...]]\n\
          \x20                [--replacement spec]\n\
-         \x20                [--autoscale queue:min=M,max=N,up=U,down=D[,cadence=S]]"
+         \x20                [--batching none|coalesce[:max=M,wait=S]|adaptive[:slo=T,max=M,wait=S]]\n\
+         \x20                [--autoscale queue:min=M,max=N,up=U,down=D[,cadence=S]]\n\
+         \x20                [--azure-data invocations_per_function.csv]"
     );
     std::process::exit(2);
 }
@@ -52,7 +54,9 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     let mut policies: Option<Vec<PolicySpec>> = None;
     let mut scenarios: Option<Vec<String>> = None;
     let mut replacement: Option<PolicySpec> = None;
+    let mut batching: Option<PolicySpec> = None;
     let mut autoscale: Option<AutoscaleSpec> = None;
+    let mut azure_real: Option<gfaas_trace::AzureFunctionsDataset> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -96,12 +100,32 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
                 let Some(spec) = it.next() else { usage() };
                 replacement = Some(cli_spec(spec, SpecKind::Evictor));
             }
+            "--batching" => {
+                let Some(spec) = it.next() else { usage() };
+                batching = Some(cli_spec(spec, SpecKind::Batcher));
+            }
             "--autoscale" => {
                 let Some(spec) = it.next() else { usage() };
                 autoscale = Some(spec.parse::<AutoscaleSpec>().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage();
                 }));
+            }
+            "--azure-data" => {
+                // Registers the `azure_real` replay scenario from a real
+                // Azure Functions per-minute CSV.
+                let Some(path) = it.next() else { usage() };
+                let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                    eprintln!("cannot open {path}: {e}");
+                    usage();
+                });
+                let ds =
+                    gfaas_trace::AzureFunctionsDataset::read_csv(std::io::BufReader::new(file))
+                        .unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            usage();
+                        });
+                azure_real = Some(ds);
             }
             _ => usage(),
         }
@@ -123,9 +147,18 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     if let Some(replacement) = replacement {
         suite.replacement = replacement;
     }
+    if let Some(batching) = batching {
+        suite.batching = batching;
+    }
     suite.autoscale = autoscale;
+    suite.azure_real = azure_real;
     if let Some(names) = scenarios {
-        let known: Vec<&str> = suite.scenarios.iter().map(|s| s.name).collect();
+        // `azure_real` is a known name exactly when a dataset was
+        // supplied; the filter then also applies to it.
+        let mut known: Vec<&str> = suite.scenarios.iter().map(|s| s.name).collect();
+        if suite.azure_real.is_some() {
+            known.push("azure_real");
+        }
         for n in &names {
             if !known.contains(&n.as_str()) {
                 eprintln!("unknown scenario {n:?} (known: {known:?})");
@@ -135,6 +168,9 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
         suite
             .scenarios
             .retain(|s| names.iter().any(|n| n == s.name));
+        if !names.iter().any(|n| n == "azure_real") {
+            suite.azure_real = None;
+        }
     }
     suite
 }
@@ -153,6 +189,10 @@ fn main() {
     );
     if suite.replacement != PolicySpec::bare("lru") {
         println!("Replacement policy: {}\n", suite.replacement);
+    }
+    let batched = suite.batching != PolicySpec::bare("none");
+    if batched {
+        println!("Batching: {}\n", suite.batching);
     }
     let autoscaled = suite.autoscale.is_some();
     if let Some(autoscale) = &suite.autoscale {
@@ -182,9 +222,9 @@ fn main() {
     }
     println!();
 
-    // The autoscaled matrix carries two extra columns (provisioned
-    // GPU-seconds and scale events); the default layout is untouched so
-    // published rows stay byte-identical.
+    // The batched matrix carries effective-batch columns, the autoscaled
+    // one provisioned GPU-seconds and scale events; the default layout is
+    // untouched so published rows stay byte-identical.
     let mut widths = vec![12, 8, 11, 11, 11, 11, 10, 11, 9];
     let mut header = vec![
         "scenario",
@@ -197,6 +237,10 @@ fn main() {
         "false_miss",
         "sm_util",
     ];
+    if batched {
+        widths.extend([7, 9]);
+        header.extend(["eff_b", "batched"]);
+    }
     if autoscaled {
         widths.extend([10, 9]);
         header.extend(["gpu_s", "up/down"]);
@@ -221,6 +265,10 @@ fn main() {
             format!("{:.3}", m.false_miss_ratio),
             format!("{:.3}", m.sm_utilization),
         ];
+        if batched {
+            row.push(format!("{:.2}", m.avg_effective_batch));
+            row.push(format!("{:.0}", m.batched_requests));
+        }
         if autoscaled {
             row.push(format!("{:.0}", m.gpu_seconds_provisioned));
             row.push(format!(

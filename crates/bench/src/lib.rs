@@ -25,7 +25,8 @@
 
 use gfaas_core::{AutoscaleSpec, Cluster, ClusterConfig, Policy, PolicySpec, RunMetrics};
 use gfaas_models::ModelRegistry;
-use gfaas_trace::{AzureTraceConfig, Trace, TraceStats};
+use gfaas_trace::{AzureFunctionsDataset, AzureTraceConfig, Trace, TraceStats};
+use gfaas_workload::scenario::NUM_MODELS;
 use gfaas_workload::{registry, Scale, Scenario};
 
 /// The working-set sizes the paper sweeps in Figs 4–6.
@@ -80,8 +81,29 @@ pub fn run_configured_on_trace(
     autoscale: Option<&AutoscaleSpec>,
     trace: &Trace,
 ) -> RunMetrics {
+    run_batched_on_trace(
+        policy,
+        replacement,
+        &PolicySpec::bare("none"),
+        autoscale,
+        trace,
+    )
+}
+
+/// The fully configured paper-testbed run: scheduler, replacement, and
+/// request-batching specs plus an optional autoscale spec. Batching
+/// `none` is the per-request dispatch every published number uses;
+/// `coalesce`/`adaptive` engage the `gfaas-core::batching` subsystem.
+pub fn run_batched_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    batching: &PolicySpec,
+    autoscale: Option<&AutoscaleSpec>,
+    trace: &Trace,
+) -> RunMetrics {
     let mut cfg = ClusterConfig::paper_testbed(policy.clone());
     cfg.replacement = replacement.clone();
+    cfg.batching = batching.clone();
     cfg.autoscale = autoscale.cloned();
     let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
     cluster.run(trace)
@@ -131,6 +153,16 @@ pub struct AveragedMetrics {
     pub scale_up_events: f64,
     /// Mean GPUs drained per run (0 without autoscaling).
     pub scale_down_events: f64,
+    /// Mean requests completed per run.
+    pub completed: f64,
+    /// Mean integrated GPU busy time (uploads + inference), GPU-seconds.
+    pub gpu_busy_seconds: f64,
+    /// Mean effective batch (coalesced requests per GPU invocation; 1.0
+    /// under per-request dispatch).
+    pub avg_effective_batch: f64,
+    /// Mean requests served by multi-request invocations (0 under
+    /// per-request dispatch).
+    pub batched_requests: f64,
     /// Number of runs averaged.
     pub runs: usize,
 }
@@ -154,7 +186,34 @@ impl AveragedMetrics {
             gpu_seconds_provisioned: sum(|r| r.gpu_seconds_provisioned),
             scale_up_events: sum(|r| r.scale_up_events as f64),
             scale_down_events: sum(|r| r.scale_down_events as f64),
+            completed: sum(|r| r.completed as f64),
+            gpu_busy_seconds: sum(|r| r.gpu_busy_seconds),
+            avg_effective_batch: sum(|r| r.avg_effective_batch),
+            batched_requests: sum(|r| r.batched_requests as f64),
             runs: runs.len(),
+        }
+    }
+
+    /// Completed requests per provisioned GPU-second (for a fixed fleet
+    /// the denominator is `num_gpus × makespan`).
+    pub fn requests_per_gpu_second(&self) -> f64 {
+        if self.gpu_seconds_provisioned <= 0.0 {
+            0.0
+        } else {
+            self.completed / self.gpu_seconds_provisioned
+        }
+    }
+
+    /// Completed requests per *busy* GPU-second — service throughput over
+    /// the GPU time actually consumed (uploads + inference), the
+    /// hardware-cost metric the batching study optimises: coalescing
+    /// amortises per-invocation overhead and shares uploads, so each
+    /// completed request costs fewer busy seconds.
+    pub fn requests_per_busy_gpu_second(&self) -> f64 {
+        if self.gpu_busy_seconds <= 0.0 {
+            0.0
+        } else {
+            self.completed / self.gpu_busy_seconds
         }
     }
 }
@@ -174,9 +233,19 @@ pub struct ScenarioSuite {
     /// Replacement spec every cell runs under (default `lru`; set
     /// `"tinylfu"` etc. to sweep a different evictor).
     pub replacement: PolicySpec,
+    /// Request-batching spec every cell runs under (default `none`, the
+    /// per-request dispatch of every published number; `coalesce` /
+    /// `adaptive` engage dynamic batching).
+    pub batching: PolicySpec,
     /// Elastic-capacity spec every cell runs under (`None`, the default,
     /// is the paper's fixed 12-GPU testbed).
     pub autoscale: Option<AutoscaleSpec>,
+    /// A real Azure Functions per-minute dataset: when set, the sweep
+    /// registers an extra `azure_real` scenario replaying the dataset's
+    /// top `scale.working_set` functions verbatim (the `scenarios` CLI
+    /// loads one with `--azure-data <csv>`). Replay is deterministic per
+    /// seed, so the seed axis still averages placement noise.
+    pub azure_real: Option<AzureFunctionsDataset>,
     /// Trace realisations to average over.
     pub seeds: Vec<u64>,
 }
@@ -214,7 +283,9 @@ impl ScenarioSuite {
             scenarios: registry(),
             policies: paper_policy_specs(),
             replacement: PolicySpec::bare("lru"),
+            batching: PolicySpec::bare("none"),
             autoscale: None,
+            azure_real: None,
             seeds,
         }
     }
@@ -238,7 +309,9 @@ impl ScenarioSuite {
             && self.seeds == REPORT_SEEDS
             && self.policies == paper_policy_specs()
             && self.replacement == PolicySpec::bare("lru")
+            && self.batching == PolicySpec::bare("none")
             && self.autoscale.is_none()
+            && self.azure_real.is_none()
             && self.scenarios.len() == registry().len()
     }
 
@@ -260,37 +333,55 @@ impl ScenarioSuite {
                 })
                 .collect()
         };
-        let mut scenario_stats = Vec::with_capacity(self.scenarios.len());
-        let mut cells = Vec::with_capacity(self.scenarios.len() * self.policies.len());
-        for sc in &self.scenarios {
+        // Registry scenarios first, then — when a dataset is supplied —
+        // the `azure_real` replay row on the same policy axis.
+        let mut rows: Vec<(&'static str, Vec<Trace>, f64)> = self
+            .scenarios
+            .iter()
+            .map(|sc| {
+                let traces: Vec<Trace> = self
+                    .seeds
+                    .iter()
+                    .map(|&s| sc.trace(&self.scale, s))
+                    .collect();
+                (sc.name, traces, self.scale.horizon_secs())
+            })
+            .collect();
+        if let Some(ds) = &self.azure_real {
             let traces: Vec<Trace> = self
                 .seeds
                 .iter()
-                .map(|&s| sc.trace(&self.scale, s))
+                .map(|&s| ds.trace(self.scale.working_set, NUM_MODELS, s))
                 .collect();
+            rows.push(("azure_real", traces, ds.horizon_secs()));
+        }
+        let mut scenario_stats = Vec::with_capacity(rows.len());
+        let mut cells = Vec::with_capacity(rows.len() * self.policies.len());
+        for (name, traces, horizon) in &rows {
             if let Some(first) = traces.first() {
                 // Horizon-aware: the registry knows each scenario's
                 // intended horizon, so trailing idle minutes (e.g. a
                 // diurnal trough ending the trace) count toward burstiness
                 // instead of being silently dropped.
-                scenario_stats.push((sc.name, first.stats_with_horizon(self.scale.horizon_secs())));
+                scenario_stats.push((*name, first.stats_with_horizon(*horizon)));
             }
-            for (policy, name) in self.policies.iter().zip(&policy_names) {
+            for (policy, policy_name) in self.policies.iter().zip(&policy_names) {
                 let runs: Vec<RunMetrics> = traces
                     .iter()
                     .map(|t| {
-                        run_configured_on_trace(
+                        run_batched_on_trace(
                             policy,
                             &self.replacement,
+                            &self.batching,
                             self.autoscale.as_ref(),
                             t,
                         )
                     })
                     .collect();
                 cells.push(SuiteCell {
-                    scenario: sc.name,
+                    scenario: name,
                     policy: policy.clone(),
-                    policy_name: name.clone(),
+                    policy_name: policy_name.clone(),
                     metrics: AveragedMetrics::from_runs(&runs),
                 });
             }
@@ -309,6 +400,8 @@ pub enum SpecKind {
     Scheduler,
     /// An evictor spec (`lru`, `tinylfu:0.9`, …).
     Evictor,
+    /// A request-batching spec (`none`, `coalesce:max=8,wait=0.05`, …).
+    Batcher,
 }
 
 /// Parses a CLI-facing policy spec and validates it against the builtin
@@ -327,6 +420,10 @@ pub fn parse_cli_spec(s: &str, kind: SpecKind) -> Result<PolicySpec, String> {
             .evictor(&spec, 0)
             .map(drop)
             .map_err(|e| format!("{e} (known: {:?})", reg.evictor_keys()))?,
+        SpecKind::Batcher => reg
+            .batcher(&spec)
+            .map(drop)
+            .map_err(|e| format!("{e} (known: {:?})", reg.batcher_keys()))?,
     }
     Ok(spec)
 }

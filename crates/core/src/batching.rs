@@ -1,0 +1,441 @@
+//! Dynamic request batching: coalescing same-model requests into one GPU
+//! invocation.
+//!
+//! The paper fixes the inference batch at 32 inputs per request and
+//! dispatches every request as its own GPU invocation. But the registry's
+//! latency profile is *affine* in batch size (`t(b) = base + per_item·b`,
+//! [`gfaas_models::LatencyProfile`]), so `k` queued requests for the same
+//! model can run as a single invocation of `k × 32` inputs and amortise
+//! `k − 1` copies of the fixed per-invocation cost — the classic
+//! throughput lever of serving systems (Clipper's adaptive batching,
+//! Clockwork's predictable executors). Coalescing also amortises *loads*:
+//! requests that ride a batch behind a cache miss share one model upload
+//! instead of risking replica misses on other GPUs.
+//!
+//! # The policy surface
+//!
+//! [`BatchPolicy`] is the open trait. Whenever the scheduler has chosen a
+//! lead request for a GPU, the cluster driver builds a [`BatchView`] —
+//! the model's affine latency coefficients on *that* GPU, the lead's age,
+//! and how many same-model requests are immediately coalescable — and
+//! asks the policy for a [`BatchPlan`]: how many requests may share the
+//! invocation, and whether to hold the dispatch briefly to gather more.
+//! Held batches sit in a [`crate::gpu_manager::HoldSlot`] on the GPU (a `BatchHold` timer
+//! event releases them; a filled batch launches early).
+//!
+//! Three policies ship, named by [`crate::policy::PolicyRegistry`] specs:
+//!
+//! * `none` — per-request dispatch, byte-identical to the paper pipeline;
+//! * `coalesce[:max=8,wait=0.05]` — greedy same-model merge up to `max`
+//!   requests, holding a partially filled batch up to `wait` seconds
+//!   (only when at least two requests are already merged, so a hold never
+//!   delays a solo request);
+//! * `adaptive[:slo=30,max=32,wait=0.05]` — SLO-aware sizing: caps the
+//!   batch so predicted service time (load on a miss + affine inference)
+//!   stays within half the target p95, and holds only while the lead's
+//!   predicted completion still meets the SLO.
+
+use std::fmt;
+
+use gfaas_gpu::ModelId;
+use gfaas_sim::time::{SimDuration, SimTime};
+
+/// Default maximum requests per coalesced invocation for the greedy
+/// `coalesce` policy. Tuned on the `fig_batching` study: 8 maximises
+/// busy-time throughput at paper scale (deeper merges inflate the tail
+/// faster than they amortise the base term there), while `adaptive`
+/// grows the cap with its SLO budget for saturated production runs.
+pub const DEFAULT_MAX_COALESCE: usize = 8;
+/// Default hard cap for the `adaptive` policy (its SLO budget usually
+/// binds first).
+pub const DEFAULT_MAX_ADAPTIVE: usize = 32;
+/// Default hold timer for partially filled batches, seconds.
+pub const DEFAULT_HOLD_WAIT_SECS: f64 = 0.05;
+/// Default p95 latency target for the `adaptive` policy, seconds.
+pub const DEFAULT_SLO_SECS: f64 = 30.0;
+/// Fraction of the SLO the `adaptive` policy budgets for the coalesced
+/// invocation's own service time (load + inference); the rest is queueing
+/// slack.
+pub const ADAPTIVE_SERVICE_FRACTION: f64 = 0.5;
+
+/// What the cluster driver shows a [`BatchPolicy`] before a dispatch: the
+/// lead request's context plus the model's latency profile scaled to the
+/// target GPU (§VI heterogeneity), so policies can predict invocation
+/// latency with the registry's affine model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchView {
+    /// The model the invocation will run.
+    pub model: ModelId,
+    /// True iff the lead dispatch is a cache hit (a miss pays `load_secs`
+    /// before inference starts).
+    pub hit: bool,
+    /// The current virtual time.
+    pub now: SimTime,
+    /// When the lead (oldest) request arrived.
+    pub lead_arrival: SimTime,
+    /// Additional same-model requests immediately coalescable (waiting in
+    /// this GPU's local queue or the global queue).
+    pub available: usize,
+    /// Inputs per request (the paper's fixed 32).
+    pub items_per_request: usize,
+    /// Batch-independent inference overhead on this GPU, seconds — the
+    /// cost each coalesced request amortises.
+    pub infer_base_secs: f64,
+    /// Per-input inference cost on this GPU, seconds.
+    pub infer_item_secs: f64,
+    /// Model upload time onto this GPU, seconds (paid once on a miss).
+    pub load_secs: f64,
+}
+
+impl BatchView {
+    /// Predicted inference time of an invocation coalescing `requests`
+    /// requests, from the affine model.
+    pub fn infer_secs(&self, requests: usize) -> f64 {
+        self.infer_base_secs + self.infer_item_secs * (requests * self.items_per_request) as f64
+    }
+
+    /// Predicted service time (load on a miss + inference) of an
+    /// invocation coalescing `requests` requests.
+    pub fn service_secs(&self, requests: usize) -> f64 {
+        let load = if self.hit { 0.0 } else { self.load_secs };
+        load + self.infer_secs(requests)
+    }
+
+    /// How long the lead request has already been queued.
+    pub fn lead_age_secs(&self) -> f64 {
+        self.now.duration_since(self.lead_arrival).as_secs_f64()
+    }
+}
+
+/// A [`BatchPolicy`]'s answer for one imminent dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Maximum requests (including the lead) the invocation may coalesce.
+    /// The driver pulls same-model requests up to this cap; values are
+    /// clamped to at least 1.
+    pub max_requests: usize,
+    /// If set and the collected batch is still below `max_requests`, the
+    /// driver parks the batch in a hold slot for this long before
+    /// launching (an early launch fires as soon as the batch fills).
+    /// Policies should only hold when at least two requests are already
+    /// merged — the driver launches a solo batch immediately regardless.
+    pub hold: Option<SimDuration>,
+}
+
+impl BatchPlan {
+    /// The pass-through plan: one request, no hold.
+    pub fn solo() -> BatchPlan {
+        BatchPlan {
+            max_requests: 1,
+            hold: None,
+        }
+    }
+}
+
+/// A batching policy: decides, per imminent dispatch, how many queued
+/// same-model requests to coalesce into the invocation and how long to
+/// hold for more.
+///
+/// Implementations must be deterministic: any randomness must come from
+/// owned, seeded state.
+pub trait BatchPolicy: fmt::Debug + Send {
+    /// Registry-style display name (`"none"`, `"coalesce(max=8)"`, …).
+    fn name(&self) -> String;
+
+    /// Plans one dispatch. See [`BatchView`] for what the policy observes
+    /// and [`BatchPlan`] for what it controls.
+    fn plan(&mut self, view: &BatchView) -> BatchPlan;
+
+    /// True for the `none` policy: the driver then skips coalescing
+    /// bookkeeping entirely, keeping the per-request hot path (and its
+    /// published outputs) byte-identical to the paper pipeline.
+    fn is_passthrough(&self) -> bool {
+        false
+    }
+}
+
+/// Per-request dispatch (the paper's behaviour; spec key `none`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBatch;
+
+impl BatchPolicy for NoBatch {
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+
+    fn plan(&mut self, _view: &BatchView) -> BatchPlan {
+        BatchPlan::solo()
+    }
+
+    fn is_passthrough(&self) -> bool {
+        true
+    }
+}
+
+/// Greedy same-model coalescing up to a fixed cap, with a bounded hold
+/// timer for partially filled batches (spec key `coalesce`).
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceBatch {
+    max_requests: usize,
+    hold_wait: SimDuration,
+}
+
+impl CoalesceBatch {
+    /// A coalescing policy merging up to `max_requests` requests and
+    /// holding partial batches (of at least two) up to `hold_wait`.
+    ///
+    /// # Panics
+    /// If `max_requests` is zero.
+    pub fn new(max_requests: usize, hold_wait: SimDuration) -> Self {
+        assert!(max_requests > 0, "coalesce max must be positive");
+        CoalesceBatch {
+            max_requests,
+            hold_wait,
+        }
+    }
+
+    /// The configured cap and hold timer.
+    pub fn limits(&self) -> (usize, SimDuration) {
+        (self.max_requests, self.hold_wait)
+    }
+}
+
+impl Default for CoalesceBatch {
+    fn default() -> Self {
+        CoalesceBatch::new(
+            DEFAULT_MAX_COALESCE,
+            SimDuration::from_secs_f64(DEFAULT_HOLD_WAIT_SECS),
+        )
+    }
+}
+
+impl BatchPolicy for CoalesceBatch {
+    fn name(&self) -> String {
+        format!("coalesce(max={})", self.max_requests)
+    }
+
+    fn plan(&mut self, view: &BatchView) -> BatchPlan {
+        let take = (1 + view.available).min(self.max_requests);
+        // Hold only when the merge is already underway (≥ 2 requests) but
+        // unfilled: a solo request never waits, and a full batch launches
+        // now. A miss never holds either — its model upload is itself a
+        // seconds-long gathering window (the driver tops the batch up
+        // when the load completes), and delaying the load would both
+        // stall the lead and invite replica misses elsewhere.
+        let hold = (view.hit && take >= 2 && take < self.max_requests && !self.hold_wait.is_zero())
+            .then_some(self.hold_wait);
+        BatchPlan {
+            max_requests: self.max_requests,
+            hold,
+        }
+    }
+}
+
+/// SLO-aware adaptive batch sizing (spec key `adaptive`): the batch is
+/// capped so the predicted invocation service time — load on a miss plus
+/// the affine inference time — fits within [`ADAPTIVE_SERVICE_FRACTION`]
+/// of the target p95, and a partial batch is held only while the lead
+/// request's predicted completion still meets the SLO.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBatch {
+    slo_secs: f64,
+    max_requests: usize,
+    hold_wait: SimDuration,
+}
+
+impl AdaptiveBatch {
+    /// An adaptive policy targeting `slo_secs` p95, merging at most
+    /// `max_requests` and holding partial batches up to `hold_wait`.
+    ///
+    /// # Panics
+    /// If the SLO is not positive and finite, or `max_requests` is zero.
+    pub fn new(slo_secs: f64, max_requests: usize, hold_wait: SimDuration) -> Self {
+        assert!(
+            slo_secs.is_finite() && slo_secs > 0.0,
+            "adaptive slo must be positive, got {slo_secs}"
+        );
+        assert!(max_requests > 0, "adaptive max must be positive");
+        AdaptiveBatch {
+            slo_secs,
+            max_requests,
+            hold_wait,
+        }
+    }
+
+    /// The configured SLO target, seconds.
+    pub fn slo_secs(&self) -> f64 {
+        self.slo_secs
+    }
+
+    /// Largest request count whose predicted service time fits the SLO's
+    /// service budget on the viewed GPU (always at least 1: a solo
+    /// request must run even when the budget is already blown).
+    fn slo_cap(&self, view: &BatchView) -> usize {
+        let budget = ADAPTIVE_SERVICE_FRACTION * self.slo_secs;
+        let mut cap = self.max_requests;
+        while cap > 1 && view.service_secs(cap) > budget {
+            // The affine model is monotone in the batch, so the largest
+            // admissible cap could be solved in closed form; the zoo's
+            // caps are ≤ 64, so the walk is cheaper than it looks and
+            // avoids float-edge surprises.
+            cap -= 1;
+        }
+        cap
+    }
+}
+
+impl Default for AdaptiveBatch {
+    fn default() -> Self {
+        AdaptiveBatch::new(
+            DEFAULT_SLO_SECS,
+            DEFAULT_MAX_ADAPTIVE,
+            SimDuration::from_secs_f64(DEFAULT_HOLD_WAIT_SECS),
+        )
+    }
+}
+
+impl BatchPolicy for AdaptiveBatch {
+    fn name(&self) -> String {
+        format!("adaptive(slo={}s,max={})", self.slo_secs, self.max_requests)
+    }
+
+    fn plan(&mut self, view: &BatchView) -> BatchPlan {
+        let cap = self.slo_cap(view);
+        let take = (1 + view.available).min(cap);
+        // Headroom the lead still has before the SLO: holding is only
+        // worthwhile while a maximal batch launched after the hold would
+        // still complete in time. Misses never hold — the upload is the
+        // gathering window (see [`CoalesceBatch`]).
+        let headroom = self.slo_secs - view.lead_age_secs() - view.service_secs(cap);
+        let hold =
+            if view.hit && take >= 2 && take < cap && headroom > 0.0 && !self.hold_wait.is_zero() {
+                Some(SimDuration::from_secs_f64(
+                    headroom.min(self.hold_wait.as_secs_f64()),
+                ))
+            } else {
+                None
+            };
+        BatchPlan {
+            max_requests: cap,
+            hold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A view over a toy profile: 0.1 s base + 0.9 s per 32-input
+    /// request, 1 s load — the shape of a Table I mid-size model.
+    fn view(hit: bool, available: usize, age_secs: f64) -> BatchView {
+        BatchView {
+            model: ModelId(0),
+            hit,
+            now: SimTime::from_secs_f64(age_secs),
+            lead_arrival: SimTime::ZERO,
+            available,
+            items_per_request: 32,
+            infer_base_secs: 0.1,
+            infer_item_secs: 0.9 / 32.0,
+            load_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn view_predicts_affine_latency() {
+        let v = view(true, 0, 0.0);
+        assert!((v.infer_secs(1) - 1.0).abs() < 1e-12);
+        assert!((v.infer_secs(3) - (0.1 + 2.7)).abs() < 1e-12);
+        assert!((v.service_secs(1) - 1.0).abs() < 1e-12);
+        let miss = view(false, 0, 0.0);
+        assert!((miss.service_secs(1) - 2.0).abs() < 1e-12);
+        assert_eq!(view(true, 0, 2.5).lead_age_secs(), 2.5);
+    }
+
+    #[test]
+    fn none_is_a_passthrough_solo_plan() {
+        let mut p = NoBatch;
+        assert!(p.is_passthrough());
+        assert_eq!(p.plan(&view(true, 50, 0.0)), BatchPlan::solo());
+        assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn coalesce_holds_only_partial_multi_request_batches() {
+        let mut p = CoalesceBatch::new(4, SimDuration::from_millis(50));
+        assert!(!p.is_passthrough());
+        // Solo: no hold — a lone request never waits.
+        assert_eq!(p.plan(&view(true, 0, 0.0)).hold, None);
+        // Partial merge: hold for more.
+        let plan = p.plan(&view(true, 1, 0.0));
+        assert_eq!(plan.max_requests, 4);
+        assert_eq!(plan.hold, Some(SimDuration::from_millis(50)));
+        // Full (or overfull): launch immediately.
+        assert_eq!(p.plan(&view(true, 3, 0.0)).hold, None);
+        assert_eq!(p.plan(&view(true, 9, 0.0)).hold, None);
+    }
+
+    #[test]
+    fn coalesce_with_zero_wait_never_holds() {
+        let mut p = CoalesceBatch::new(8, SimDuration::ZERO);
+        assert_eq!(p.plan(&view(true, 3, 0.0)).hold, None);
+    }
+
+    #[test]
+    fn adaptive_caps_the_batch_to_the_slo_budget() {
+        // Budget = 5 s; hit service of k requests ≈ 0.1 + 0.9k → cap 5.
+        let mut p = AdaptiveBatch::new(10.0, 64, SimDuration::from_millis(50));
+        let plan = p.plan(&view(true, 63, 0.0));
+        assert_eq!(plan.max_requests, 5);
+        assert_eq!(plan.hold, None, "a full-to-cap batch launches now");
+        // A miss spends 1 s of the budget on the load → smaller cap.
+        let miss_plan = p.plan(&view(false, 63, 0.0));
+        assert_eq!(miss_plan.max_requests, 4);
+    }
+
+    #[test]
+    fn adaptive_always_admits_the_solo_request() {
+        // Service time of even one request blows the budget → cap 1, no
+        // hold: the request must still run.
+        let mut p = AdaptiveBatch::new(0.5, 64, SimDuration::from_millis(50));
+        let plan = p.plan(&view(false, 10, 0.0));
+        assert_eq!(plan.max_requests, 1);
+        assert_eq!(plan.hold, None);
+    }
+
+    #[test]
+    fn adaptive_stops_holding_when_the_lead_is_out_of_headroom() {
+        let mut p = AdaptiveBatch::new(10.0, 64, SimDuration::from_millis(50));
+        // Fresh lead, partial batch: holds.
+        assert!(p.plan(&view(true, 1, 0.0)).hold.is_some());
+        // Lead already ~SLO old: no hold.
+        assert_eq!(p.plan(&view(true, 1, 9.9)).hold, None);
+        // Hold is clamped to the remaining headroom.
+        let cap_service = view(true, 1, 0.0).service_secs(5);
+        let tight_age = 10.0 - cap_service - 0.01;
+        let hold = p.plan(&view(true, 1, tight_age)).hold.unwrap();
+        assert!(hold <= SimDuration::from_millis(50));
+        assert!(hold > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn names_describe_the_configuration() {
+        assert_eq!(CoalesceBatch::default().name(), "coalesce(max=8)");
+        assert_eq!(AdaptiveBatch::default().name(), "adaptive(slo=30s,max=32)");
+        assert_eq!(CoalesceBatch::default().limits().0, DEFAULT_MAX_COALESCE);
+        assert_eq!(AdaptiveBatch::default().slo_secs(), DEFAULT_SLO_SECS);
+    }
+
+    #[test]
+    #[should_panic(expected = "max must be positive")]
+    fn coalesce_rejects_zero_max() {
+        CoalesceBatch::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "slo must be positive")]
+    fn adaptive_rejects_bad_slo() {
+        AdaptiveBatch::new(0.0, 4, SimDuration::ZERO);
+    }
+}

@@ -36,9 +36,10 @@ use gfaas_sim::time::{SimDuration, SimTime};
 use gfaas_trace::Trace;
 
 use crate::autoscale::{Autoscaler, ScaleDecision};
+use crate::batching::{BatchPolicy, BatchView};
 use crate::cache::{CacheManager, Evictor};
 use crate::config::{BusyWaitPolicy, ClusterConfig, ConfigError};
-use crate::gpu_manager::{lru_key, status_key, GpuUnit, InFlight, Phase, UnitState};
+use crate::gpu_manager::{lru_key, status_key, GpuUnit, HoldSlot, InFlight, Phase, UnitState};
 use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::policy::PolicyRegistry;
 use crate::request::Request;
@@ -61,6 +62,11 @@ enum Event {
     /// The autoscaler's cadence fired: observe the cluster, apply one
     /// scale decision, and re-arm (while requests remain).
     ScaleTick,
+    /// A held batch's timer expired (see [`crate::batching`]); the GPU
+    /// launches whatever the hold gathered. Carries the hold's sequence
+    /// token so a stale timer (the batch filled and launched early) is
+    /// ignored.
+    BatchHold(GpuId, u64),
 }
 
 /// The GPU-enabled FaaS cluster.
@@ -72,6 +78,9 @@ pub struct Cluster {
     /// The active scheduling policy. Taken out during a pass so the
     /// policy can borrow the cluster through [`SchedCtx`].
     sched: Option<Box<dyn SchedulerPolicy>>,
+    /// The active request-batching policy ([`crate::batching`]); the
+    /// builtin `none` keeps the paper's per-request dispatch.
+    batcher: Box<dyn BatchPolicy>,
     global_queue: VecDeque<Request>,
     metrics: MetricsCollector,
     now: SimTime,
@@ -92,6 +101,9 @@ pub struct Cluster {
     online_high: usize,
     /// Requests in the running trace; ticks stop once all have completed.
     pending_total: u64,
+    /// Integrated GPU busy time (uploads + inference, including crashed
+    /// work) — `RunMetrics::gpu_busy_seconds`.
+    busy_secs: f64,
 }
 
 impl Cluster {
@@ -114,6 +126,19 @@ impl Cluster {
         Cluster::with_policies(config, registry, sched, evictor)
     }
 
+    /// Replaces the batching policy with a custom [`BatchPolicy`] impl —
+    /// the open path mirroring [`Cluster::with_policies`] for policies
+    /// living outside the builtin registry. The config's `batching` spec
+    /// is ignored in favour of the given object.
+    pub fn set_batcher(&mut self, batcher: Box<dyn BatchPolicy>) {
+        self.batcher = batcher;
+    }
+
+    /// The active batching policy's display name.
+    pub fn batcher_name(&self) -> String {
+        self.batcher.name()
+    }
+
     /// Builds a cluster around explicitly constructed policy objects —
     /// the open path for policies living outside the builtin registry.
     /// The config's `policy`/`replacement` specs are ignored in favour of
@@ -125,6 +150,9 @@ impl Cluster {
         evictor: Box<dyn Evictor>,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
+        // Batching always resolves through the builtin registry (use
+        // `set_batcher` for custom policies).
+        let batcher = PolicyRegistry::builtin().batcher(&config.batching)?;
         // An elastic cluster allocates every device it may ever bring
         // online; `num_gpus` (clamped into the autoscale band) of them
         // start online, the rest wait offline for a scale-up.
@@ -161,6 +189,7 @@ impl Cluster {
             units,
             cache,
             sched: Some(sched),
+            batcher,
             global_queue: VecDeque::new(),
             metrics: MetricsCollector::new(),
             now: SimTime::ZERO,
@@ -177,6 +206,7 @@ impl Cluster {
             online_low: initial_online,
             online_high: initial_online,
             pending_total: 0,
+            busy_secs: 0.0,
         })
     }
 
@@ -285,16 +315,16 @@ impl Cluster {
             .mul_f64(self.units[gi].device.spec().load_scale)
     }
 
-    /// Requests a tenant currently occupies (in flight + local queues).
+    /// Requests a tenant currently occupies (in flight, held for a batch,
+    /// or in local queues).
     fn tenant_load(&self, tenant: u16) -> usize {
+        let of = |rs: &[Request]| rs.iter().filter(|r| r.tenant == tenant).count();
         self.units
             .iter()
             .map(|u| {
-                let inflight = u
-                    .in_flight
-                    .as_ref()
-                    .map_or(0, |f| usize::from(f.request.tenant == tenant));
-                inflight + u.local_queue.iter().filter(|r| r.tenant == tenant).count()
+                let inflight = u.in_flight.as_ref().map_or(0, |f| of(&f.requests));
+                let held = u.holding.as_ref().map_or(0, |h| of(&h.requests));
+                inflight + held + u.local_queue.iter().filter(|r| r.tenant == tenant).count()
             })
             .sum()
     }
@@ -349,6 +379,7 @@ impl Cluster {
                 Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
                 Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
                 Event::ScaleTick => self.on_scale_tick(&mut events),
+                Event::BatchHold(g, seq) => self.on_batch_hold(g, seq, &mut events),
             }
         }
 
@@ -391,6 +422,7 @@ impl Cluster {
         metrics.gpu_seconds_provisioned = gpu_seconds;
         metrics.scale_up_events = self.scale_ups;
         metrics.scale_down_events = self.scale_downs;
+        metrics.gpu_busy_seconds = self.busy_secs;
         metrics
     }
 
@@ -400,45 +432,72 @@ impl Cluster {
 
     fn on_gpu_done(&mut self, g: GpuId, seq: u64, events: &mut EventQueue<Event>) {
         let gi = g.0 as usize;
-        let Some(inflight) = self.units[gi].in_flight else {
-            return; // stale completion: the work crashed in the meantime
+        let phase = match &self.units[gi].in_flight {
+            // A missing or mismatched token means the work crashed in the
+            // meantime: the completion is stale and ignored.
+            Some(f) if f.seq == seq => f.phase,
+            _ => return,
         };
-        if inflight.seq != seq {
-            return; // stale completion from a crashed dispatch
-        }
-        match inflight.phase {
+        match phase {
             Phase::Loading => {
-                let model = inflight.request.model;
+                let model = {
+                    let f = self.units[gi].in_flight.as_ref().expect("work in flight");
+                    f.model()
+                };
                 self.units[gi]
                     .device
                     .complete_load(self.now, model)
                     .expect("load completion mismatch");
-                let dur = self.infer_time_on(gi, model, inflight.request.batch);
+                // The upload was a natural batch-forming window: requests
+                // for this model that queued up during the load join the
+                // invocation now, before the inference kernel launches.
+                if !self.batcher.is_passthrough() {
+                    self.topup_loaded_batch(gi);
+                }
+                // A coalesced invocation runs the whole batch's inputs in
+                // one pass of the affine latency model.
+                let items = self.units[gi]
+                    .in_flight
+                    .as_ref()
+                    .expect("work in flight")
+                    .items();
+                let dur = self.infer_time_on(gi, model, items);
                 let done = self.units[gi]
                     .device
                     .start_inference(self.now, model, dur)
                     .expect("post-load inference start");
                 if let Some(f) = self.units[gi].in_flight.as_mut() {
+                    // The upload interval just closed; `started` now marks
+                    // the inference interval for busy-time accounting.
+                    self.busy_secs += self.now.duration_since(f.started).as_secs_f64();
+                    f.started = self.now;
                     f.phase = Phase::Running;
                 }
                 self.schedule_inference_outcome(gi, done, dur, events);
             }
             Phase::Running => {
-                let model = inflight.request.model;
+                let inflight = self.units[gi].in_flight.take().expect("work in flight");
                 self.units[gi]
                     .device
-                    .complete_inference(self.now, model)
+                    .complete_inference(self.now, inflight.model())
                     .expect("inference completion mismatch");
-                let latency = self.now.duration_since(inflight.request.arrival);
-                self.metrics.record_completion(latency);
-                self.last_completion = self.last_completion.max(self.now);
-                if inflight.was_hit {
-                    self.units[gi].hits += 1;
+                self.busy_secs += self.now.duration_since(inflight.started).as_secs_f64();
+                // Per-request completion accounting: every coalesced
+                // request ends now, each against its own arrival.
+                for r in &inflight.requests {
+                    let latency = self.now.duration_since(r.arrival);
+                    self.metrics.record_completion(latency);
+                    self.report_latency(r, latency);
                 }
-                self.units[gi].in_flight = None;
+                self.metrics.record_invocation(inflight.requests.len());
+                self.last_completion = self.last_completion.max(self.now);
+                // Riding requests always served via residency (the lead's
+                // load or cache hit), so they count toward Algorithm 1's
+                // hit frequency; a lead miss does not.
+                let hit_served = inflight.requests.len() - usize::from(!inflight.was_hit);
+                self.units[gi].hits += hit_served as u64;
                 self.units[gi].idle_since = self.now;
                 self.report_status(g, "idle");
-                self.report_latency(&inflight.request, latency);
                 self.maybe_finish_drain(gi);
                 self.schedule_pass(events);
             }
@@ -456,7 +515,11 @@ impl Cluster {
         events: &mut EventQueue<Event>,
     ) {
         let g = self.units[gi].id();
-        let seq = self.units[gi].in_flight.expect("work in flight").seq;
+        let seq = self.units[gi]
+            .in_flight
+            .as_ref()
+            .expect("work in flight")
+            .seq;
         if self.config.crash_rate > 0.0 && self.rng.chance(self.config.crash_rate) {
             let frac = self.rng.range_f64(0.05, 0.95);
             let crash_at = done - dur.mul_f64(1.0 - frac);
@@ -472,28 +535,29 @@ impl Cluster {
     /// the crash).
     fn on_gpu_crash(&mut self, g: GpuId, seq: u64, events: &mut EventQueue<Event>) {
         let gi = g.0 as usize;
-        let Some(inflight) = self.units[gi].in_flight else {
-            return; // already completed or crashed
-        };
-        if inflight.seq != seq || !matches!(inflight.phase, Phase::Running) {
-            return;
+        match &self.units[gi].in_flight {
+            Some(f) if f.seq == seq && matches!(f.phase, Phase::Running) => {}
+            _ => return, // already completed or crashed
         }
-        let model = inflight.request.model;
+        let inflight = self.units[gi].in_flight.take().expect("work in flight");
+        let model = inflight.model();
         self.units[gi]
             .device
             .force_kill(self.now, model)
             .expect("crashing process exists");
+        // The partial inference consumed real GPU time before dying (the
+        // completed upload was already accounted at the phase switch).
+        self.busy_secs += self.now.duration_since(inflight.started).as_secs_f64();
         self.cache.remove(g, model);
         self.on_residency_change(model);
-        self.units[gi].in_flight = None;
         self.units[gi].idle_since = self.now;
         self.crashes += 1;
         self.report_status(g, "idle");
-        // Retry: the crashed request rejoins the global queue at the
-        // front, followed by any of this GPU's local-queue requests that
-        // were waiting on the now-dead process (their residency
-        // expectation is void).
-        let mut requeue = vec![inflight.request];
+        // Retry: the crashed invocation's requests (the whole coalesced
+        // batch) rejoin the global queue at the front in order, followed
+        // by any of this GPU's local-queue requests that were waiting on
+        // the now-dead process (their residency expectation is void).
+        let mut requeue = inflight.requests;
         let mut keep = VecDeque::new();
         while let Some(r) = self.units[gi].local_queue.pop_front() {
             if r.model == model {
@@ -606,6 +670,7 @@ impl Cluster {
         let unit = &self.units[gi];
         if unit.state != UnitState::Draining
             || unit.in_flight.is_some()
+            || unit.holding.is_some()
             || !unit.local_queue.is_empty()
         {
             return;
@@ -628,6 +693,243 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Request batching (coalescing; the policies live in `batching`)
+    // ------------------------------------------------------------------
+
+    /// Same-model requests immediately coalescable with a dispatch on
+    /// `gi`: matching entries in its local queue, plus — for online GPUs
+    /// — matching, tenant-unblocked entries in the global queue.
+    fn coalescable(&self, gi: usize, model: ModelId) -> usize {
+        let local = self.units[gi]
+            .local_queue
+            .iter()
+            .filter(|r| r.model == model)
+            .count();
+        let global = if self.units[gi].state == UnitState::Online {
+            self.global_queue
+                .iter()
+                .filter(|r| r.model == model && !self.tenant_blocked(r.tenant))
+                .count()
+        } else {
+            0
+        };
+        local + global
+    }
+
+    /// Moves same-model requests into `out` until it holds `cap`
+    /// requests: local-queue entries first (they were placed here and
+    /// would run next anyway), then global-queue entries in arrival
+    /// order. Draining GPUs take no global work — a scale-down victim
+    /// only winds down what it already owns. The §VI tenant cap counts
+    /// the forming batch itself (its requests live only in `out` during
+    /// collection, invisible to [`Cluster::tenant_load`]), so one
+    /// coalesced invocation cannot smuggle a capped tenant past its
+    /// in-flight limit.
+    fn collect_same_model(
+        &mut self,
+        gi: usize,
+        model: ModelId,
+        cap: usize,
+        out: &mut Vec<Request>,
+    ) {
+        let mut i = 0;
+        while out.len() < cap && i < self.units[gi].local_queue.len() {
+            if self.units[gi].local_queue[i].model == model {
+                let r = self.units[gi]
+                    .local_queue
+                    .remove(i)
+                    .expect("index in bounds");
+                out.push(r);
+            } else {
+                i += 1;
+            }
+        }
+        if self.units[gi].state != UnitState::Online {
+            return;
+        }
+        let mut i = 0;
+        while out.len() < cap && i < self.global_queue.len() {
+            let (matches, tenant) = {
+                let r = &self.global_queue[i];
+                (r.model == model, r.tenant)
+            };
+            let blocked = matches
+                && self.config.tenant_max_inflight.is_some_and(|tenant_cap| {
+                    let forming = out.iter().filter(|r| r.tenant == tenant).count();
+                    self.tenant_load(tenant) + forming >= tenant_cap
+                });
+            if matches && !blocked {
+                let r = self.global_queue.remove(i).expect("index in bounds");
+                out.push(r);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The affine-latency view a [`BatchPolicy`] plans against, scaled to
+    /// GPU `gi`'s own compute and PCIe profiles.
+    fn batch_view(
+        &self,
+        gi: usize,
+        model: ModelId,
+        hit: bool,
+        lead_arrival: SimTime,
+        available: usize,
+    ) -> BatchView {
+        let spec = self.units[gi].device.spec();
+        let profile = self.registry.profile(model);
+        BatchView {
+            model,
+            hit,
+            now: self.now,
+            lead_arrival,
+            available,
+            items_per_request: self.config.batch_size,
+            infer_base_secs: profile.infer_base_secs * spec.compute_scale,
+            infer_item_secs: profile.infer_per_item_secs * spec.compute_scale,
+            load_secs: profile.load_time.mul_f64(spec.load_scale).as_secs_f64(),
+        }
+    }
+
+    /// Executes a scheduler dispatch through the batching layer: plans a
+    /// batch for the lead request, coalesces available same-model
+    /// requests, and either launches now or parks the batch in a hold
+    /// slot awaiting its `BatchHold` timer. The `none` policy
+    /// short-circuits to the paper's per-request launch.
+    fn dispatch_batched(
+        &mut self,
+        gi: usize,
+        lead: Request,
+        hit: bool,
+        events: &mut EventQueue<Event>,
+    ) {
+        if self.batcher.is_passthrough() {
+            self.launch_batch(gi, vec![lead], hit, events);
+            return;
+        }
+        let model = lead.model;
+        let available = self.coalescable(gi, model);
+        let view = self.batch_view(gi, model, hit, lead.arrival, available);
+        let plan = self.batcher.plan(&view);
+        let cap = plan.max_requests.max(1);
+        let mut requests = vec![lead];
+        self.collect_same_model(gi, model, cap, &mut requests);
+        // The driver's backstop on [`BatchPlan::hold`]'s contract: a solo
+        // batch launches immediately no matter what the policy answered —
+        // holding a lone request would trade its latency for nothing.
+        if requests.len() >= 2 && requests.len() < cap {
+            if let Some(hold) = plan.hold {
+                let g = self.units[gi].id();
+                let seq = self.dispatch_seq;
+                self.dispatch_seq += 1;
+                let release_at = self.now + hold;
+                self.units[gi].holding = Some(HoldSlot {
+                    requests,
+                    max_requests: cap,
+                    hit,
+                    release_at,
+                    seq,
+                });
+                self.report_status(g, "busy");
+                events.schedule(release_at, Event::BatchHold(g, seq));
+                return;
+            }
+        }
+        self.launch_batch(gi, requests, hit, events);
+    }
+
+    /// Tops a held batch up with same-model requests that arrived since
+    /// the hold began, launching early when it fills. Returns true iff
+    /// the batch launched.
+    fn fill_hold(&mut self, gi: usize, events: &mut EventQueue<Event>) -> bool {
+        let Some(slot) = &self.units[gi].holding else {
+            return false;
+        };
+        let (model, cap) = (slot.model(), slot.max_requests);
+        let mut slot = self.units[gi].holding.take().expect("slot checked above");
+        self.collect_same_model(gi, model, cap, &mut slot.requests);
+        if slot.requests.len() >= cap {
+            // Full: launch now; the pending BatchHold timer goes stale
+            // (its token no longer matches a held slot).
+            self.launch_batch(gi, slot.requests, slot.hit, events);
+            true
+        } else {
+            self.units[gi].holding = Some(slot);
+            false
+        }
+    }
+
+    /// A held batch's timer fired: launch whatever it gathered (after a
+    /// final same-model top-up). A stale token means the batch already
+    /// launched early.
+    fn on_batch_hold(&mut self, g: GpuId, seq: u64, events: &mut EventQueue<Event>) {
+        let gi = g.0 as usize;
+        match &self.units[gi].holding {
+            Some(h) if h.seq == seq => {}
+            _ => return,
+        }
+        let mut slot = self.units[gi].holding.take().expect("slot checked above");
+        self.collect_same_model(gi, slot.model(), slot.max_requests, &mut slot.requests);
+        self.launch_batch(gi, slot.requests, slot.hit, events);
+    }
+
+    /// Grows a just-loaded invocation's batch with same-model requests
+    /// that queued up during the upload, re-consulting the batch policy
+    /// (as a hit view: the model is resident now). The upload itself was
+    /// the gathering window, so any `hold` in the new plan is ignored —
+    /// the inference launches immediately.
+    fn topup_loaded_batch(&mut self, gi: usize) {
+        let (model, lead_arrival, len) = {
+            let f = self.units[gi].in_flight.as_ref().expect("work in flight");
+            (f.model(), f.lead().arrival, f.requests.len())
+        };
+        let available = self.coalescable(gi, model);
+        if available == 0 {
+            return;
+        }
+        let view = self.batch_view(gi, model, true, lead_arrival, available);
+        let cap = self.batcher.plan(&view).max_requests.max(1);
+        if cap <= len {
+            return;
+        }
+        let mut requests = {
+            let f = self.units[gi].in_flight.as_mut().expect("work in flight");
+            std::mem::take(&mut f.requests)
+        };
+        self.collect_same_model(gi, model, cap, &mut requests);
+        let g = self.units[gi].id();
+        for _ in len..requests.len() {
+            // Joiners ride the completed upload: hit decisions and cache
+            // accesses like any coalesced request.
+            self.metrics.record_dispatch(true, false);
+            self.cache.touch(g, model);
+        }
+        self.units[gi]
+            .in_flight
+            .as_mut()
+            .expect("work in flight")
+            .requests = requests;
+    }
+
+    /// Launches a coalesced invocation on `gi` (both the hit and miss
+    /// paths; a single-request batch is exactly the paper's per-request
+    /// dispatch).
+    fn launch_batch(
+        &mut self,
+        gi: usize,
+        requests: Vec<Request>,
+        hit: bool,
+        events: &mut EventQueue<Event>,
+    ) {
+        if hit {
+            self.execute_hit(gi, requests, events);
+        } else {
+            self.execute_miss(gi, requests, events);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Scheduling (paper §IV; the algorithms live in the policy impls)
     // ------------------------------------------------------------------
 
@@ -640,6 +942,15 @@ impl Cluster {
         let mut sched = self.sched.take().expect("scheduler in place");
         loop {
             let mut progress = false;
+            // Held batches vacuum up matching new arrivals and launch
+            // early once full (no-op under per-request dispatch).
+            if !self.batcher.is_passthrough() {
+                for gi in 0..self.units.len() {
+                    if self.units[gi].holding.is_some() && self.fill_hold(gi, events) {
+                        progress = true;
+                    }
+                }
+            }
             // Drain victims run down their local queues (always resident
             // hits) but receive no new work.
             for gi in 0..self.units.len() {
@@ -649,7 +960,7 @@ impl Cluster {
                             self.cache.is_cached(self.units[gi].id(), r.model),
                             "local-queue request's model must be resident"
                         );
-                        self.execute_hit(gi, r, events);
+                        self.dispatch_batched(gi, r, true, events);
                         progress = true;
                     }
                 }
@@ -686,7 +997,7 @@ impl Cluster {
                         ctx.cluster.cache.is_cached(g, r.model),
                         "local-queue request's model must be resident"
                     );
-                    ctx.cluster.execute_hit(gi, r, ctx.events);
+                    ctx.cluster.dispatch_batched(gi, r, true, ctx.events);
                     ctx.progress = true;
                     continue;
                 }
@@ -707,21 +1018,31 @@ impl Cluster {
     // Dispatch execution
     // ------------------------------------------------------------------
 
-    /// Starts a cache-hit inference on an idle GPU.
-    fn execute_hit(&mut self, gi: usize, r: Request, events: &mut EventQueue<Event>) {
+    /// Starts a cache-hit inference on an idle GPU — one invocation
+    /// serving every request in `requests` (one, unless a batch policy
+    /// coalesced more).
+    fn execute_hit(&mut self, gi: usize, requests: Vec<Request>, events: &mut EventQueue<Event>) {
         let g = self.units[gi].id();
-        debug_assert!(self.cache.is_cached(g, r.model), "hit without residency");
-        self.metrics.record_dispatch(true, false);
-        self.cache.touch(g, r.model);
-        let dur = self.infer_time_on(gi, r.model, r.batch);
+        let model = requests[0].model;
+        debug_assert!(self.cache.is_cached(g, model), "hit without residency");
+        debug_assert!(requests.iter().all(|r| r.model == model));
+        // Every coalesced request is a hit decision and a cache access.
+        for _ in &requests {
+            self.metrics.record_dispatch(true, false);
+        }
+        for _ in &requests {
+            self.cache.touch(g, model);
+        }
+        let items: usize = requests.iter().map(|r| r.batch).sum();
+        let dur = self.infer_time_on(gi, model, items);
         let done = self.units[gi]
             .device
-            .start_inference(self.now, r.model, dur)
+            .start_inference(self.now, model, dur)
             .expect("hit dispatch on idle GPU");
         let seq = self.dispatch_seq;
         self.dispatch_seq += 1;
         self.units[gi].in_flight = Some(InFlight {
-            request: r,
+            requests,
             phase: Phase::Running,
             was_hit: true,
             started: self.now,
@@ -731,15 +1052,21 @@ impl Cluster {
         self.schedule_inference_outcome(gi, done, dur, events);
     }
 
-    /// Starts a cache-miss (load, then inference) on an idle GPU, evicting
-    /// victims as needed.
-    fn execute_miss(&mut self, gi: usize, r: Request, events: &mut EventQueue<Event>) {
+    /// Starts a cache-miss (load, then inference) on an idle GPU,
+    /// evicting victims as needed. The lead request pays the miss;
+    /// coalesced requests ride the same upload and count as hits.
+    fn execute_miss(&mut self, gi: usize, requests: Vec<Request>, events: &mut EventQueue<Event>) {
         let g = self.units[gi].id();
-        debug_assert!(!self.cache.is_cached(g, r.model), "miss with residency");
-        let false_miss = self.cache.cached_anywhere(r.model);
+        let model = requests[0].model;
+        debug_assert!(!self.cache.is_cached(g, model), "miss with residency");
+        debug_assert!(requests.iter().all(|r| r.model == model));
+        let false_miss = self.cache.cached_anywhere(model);
         self.metrics.record_dispatch(false, false_miss);
+        for _ in 1..requests.len() {
+            self.metrics.record_dispatch(true, false);
+        }
 
-        let occupancy = self.registry.occupancy_bytes(r.model);
+        let occupancy = self.registry.occupancy_bytes(model);
         // The Cache Manager provisions against capacity minus its OOM
         // headroom (see `ClusterConfig::mem_headroom_mib`).
         let headroom = self.config.mem_headroom_mib * gfaas_gpu::MIB;
@@ -751,7 +1078,7 @@ impl Cluster {
             .unwrap_or_else(|| {
                 panic!(
                     "model {} ({} B) cannot fit GPU {} ({} B capacity)",
-                    r.model,
+                    model,
                     occupancy,
                     g,
                     self.units[gi].device.spec().memory_bytes
@@ -764,18 +1091,23 @@ impl Cluster {
                 .expect("victims on an idle GPU are evictable");
             self.on_residency_change(v);
         }
-        let load_time = self.load_time_on(gi, r.model);
+        let load_time = self.load_time_on(gi, model);
         let (_pid, ready) = self.units[gi]
             .device
-            .start_load_timed(self.now, r.model, occupancy, load_time)
+            .start_load_timed(self.now, model, occupancy, load_time)
             .expect("load after eviction fits");
-        self.cache.insert(g, r.model);
-        self.on_residency_change(r.model);
+        self.cache.insert(g, model);
+        self.on_residency_change(model);
+        // Riding requests access the freshly inserted model (frequency
+        // for TinyLFU-style evictors; a no-op for the insert-hot LRU).
+        for _ in 1..requests.len() {
+            self.cache.touch(g, model);
+        }
         self.report_lru(g);
         let seq = self.dispatch_seq;
         self.dispatch_seq += 1;
         self.units[gi].in_flight = Some(InFlight {
-            request: r,
+            requests,
             phase: Phase::Loading,
             was_hit: false,
             started: self.now,
@@ -899,7 +1231,10 @@ impl SchedCtx<'_> {
     /// compute and PCIe profiles. Queued requests whose model is not
     /// resident are charged their upload as well as their inference, so
     /// the wait-vs-load comparison stays honest for policies that queue
-    /// non-resident work.
+    /// non-resident work. When a batching policy is active, same-model
+    /// queued work is charged as one coalesced invocation — the time the
+    /// driver will actually spend — which makes waiting at a busy holder
+    /// correctly cheaper than replicating the model.
     pub fn estimated_wait(&self, gpu: GpuId) -> SimDuration {
         let gi = gpu.0 as usize;
         let spec = self.cluster.units[gi].device.spec();
@@ -907,6 +1242,29 @@ impl SchedCtx<'_> {
         let registry = &self.cluster.registry;
         self.cluster.units[gi].estimated_wait(
             self.cluster.now,
+            !self.cluster.batcher.is_passthrough(),
+            |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
+            |m| registry.load_time(m).mul_f64(load_scale),
+        )
+    }
+
+    /// The wait a request for `model` would see before being *served* if
+    /// queued at busy `gpu` — what Algorithm 2 compares against the load
+    /// time. Under per-request dispatch this is exactly
+    /// [`SchedCtx::estimated_wait`]; under batching the request shares
+    /// its model's coalesced invocation (a forming load, a held batch,
+    /// or a local-queue group), so only preceding work counts.
+    pub fn estimated_wait_for(&self, gpu: GpuId, model: ModelId) -> SimDuration {
+        if self.cluster.batcher.is_passthrough() {
+            return self.estimated_wait(gpu);
+        }
+        let gi = gpu.0 as usize;
+        let spec = self.cluster.units[gi].device.spec();
+        let (compute_scale, load_scale) = (spec.compute_scale, spec.load_scale);
+        let registry = &self.cluster.registry;
+        self.cluster.units[gi].estimated_join_wait(
+            self.cluster.now,
+            model,
             |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
             |m| registry.load_time(m).mul_f64(load_scale),
         )
@@ -957,7 +1315,7 @@ impl SchedCtx<'_> {
             self.cluster.units[gi].local_queue.is_empty(),
             "idle GPUs have drained local queues"
         );
-        self.cluster.execute_hit(gi, r, self.events);
+        self.cluster.dispatch_batched(gi, r, true, self.events);
         self.progress = true;
     }
 
@@ -976,11 +1334,11 @@ impl SchedCtx<'_> {
         match dispatch {
             Dispatch::None => {}
             Dispatch::Hit(r) => {
-                self.cluster.execute_hit(gi, r, self.events);
+                self.cluster.dispatch_batched(gi, r, true, self.events);
                 self.progress = true;
             }
             Dispatch::Miss(r) => {
-                self.cluster.execute_miss(gi, r, self.events);
+                self.cluster.dispatch_batched(gi, r, false, self.events);
                 self.progress = true;
             }
         }
@@ -1634,6 +1992,201 @@ mod tests {
         )
         .unwrap();
         assert_eq!(injected.run(&t), via_enum);
+    }
+
+    // ------------------------------------------------------------------
+    // Request batching
+    // ------------------------------------------------------------------
+
+    /// A test cluster with the given batching spec.
+    fn batched_cluster(gpus: usize, nmodels: usize, batching: &str) -> Cluster {
+        let mut cfg = ClusterConfig::test(gpus, 1000, Policy::lalb());
+        cfg.batching = batching.parse().unwrap();
+        Cluster::new(cfg, toy_registry(nmodels))
+    }
+
+    #[test]
+    fn coalesce_merges_a_same_model_backlog_into_one_invocation() {
+        // Four m0 requests arrive together on one GPU. Per-request: load
+        // 1 s + 4 sequential 1 s inferences (done at 2, 3, 4, 5). With
+        // coalescing, the three requests queued behind the lead join its
+        // invocation when the load completes: one batch-128 inference =
+        // 0.1 + 0.9 × 4 = 3.7 s, everyone done at 4.7 s.
+        let mut c = batched_cluster(1, 1, "coalesce:max=8,wait=0.05");
+        assert_eq!(c.batcher_name(), "coalesce(max=8)");
+        let m = c.run(&trace_of(&[(0.0, 0), (0.01, 0), (0.02, 0), (0.03, 0)]));
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.invocations, 1, "one coalesced invocation");
+        assert_eq!(m.avg_effective_batch, 4.0);
+        assert_eq!(m.batched_requests, 4);
+        assert_eq!(m.effective_batch_hist, vec![(4, 1)]);
+        assert_eq!(m.misses, 1, "riders share the lead's upload");
+        assert!((m.makespan_secs - 4.7).abs() < 1e-6, "{}", m.makespan_secs);
+        // Busy time: 1 s load + 3.7 s inference.
+        assert!((m.gpu_busy_seconds - 4.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn held_batch_launches_early_when_it_fills() {
+        // m0's cold load+infer occupies the GPU until t=2 while two more
+        // m0 requests queue up. At t=2 the dispatch coalesces both (take
+        // 2 < max 3) and holds until 2.5; the arrival at t=2.2 fills the
+        // batch, which launches immediately: 3-request inference =
+        // 0.1 + 0.9 × 3 = 2.8 s → makespan 5.0, not 2.5 + 2.8.
+        let mut c = batched_cluster(1, 1, "coalesce:max=3,wait=0.5");
+        let m = c.run(&trace_of(&[(0.0, 0), (1.5, 0), (1.6, 0), (2.2, 0)]));
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.effective_batch_hist, vec![(1, 1), (3, 1)]);
+        assert_eq!(m.batched_requests, 3);
+        assert!((m.makespan_secs - 5.0).abs() < 1e-6, "{}", m.makespan_secs);
+    }
+
+    #[test]
+    fn hold_timer_fires_when_no_one_joins() {
+        // As above but nothing arrives during the hold: the BatchHold
+        // timer fires at t=2.5 and launches the partial 2-request batch
+        // (0.1 + 0.9 × 2 = 1.9 s) → makespan 4.4.
+        let mut c = batched_cluster(1, 1, "coalesce:max=3,wait=0.5");
+        let m = c.run(&trace_of(&[(0.0, 0), (1.5, 0), (1.6, 0)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.effective_batch_hist, vec![(1, 1), (2, 1)]);
+        assert_eq!(m.batched_requests, 2);
+        assert!((m.makespan_secs - 4.4).abs() < 1e-6, "{}", m.makespan_secs);
+    }
+
+    #[test]
+    fn batching_none_is_identical_to_the_paper_path() {
+        let reqs: Vec<(f64, u32)> = (0..60).map(|i| (i as f64 * 0.11, (i % 5) as u32)).collect();
+        let t = trace_of(&reqs);
+        let legacy = cluster(3, 400, Policy::lalbo3(), 5).run(&t);
+        let mut cfg = ClusterConfig::test(3, 400, Policy::lalbo3());
+        cfg.batching = "none".parse().unwrap();
+        let none = Cluster::new(cfg, toy_registry(5)).run(&t);
+        assert_eq!(legacy, none);
+    }
+
+    #[test]
+    fn batched_runs_are_deterministic_and_conserve_requests() {
+        let reqs: Vec<(f64, u32)> = (0..80).map(|i| (i as f64 * 0.07, (i % 6) as u32)).collect();
+        let t = trace_of(&reqs);
+        for spec in [
+            "coalesce:max=4,wait=0.05",
+            "adaptive:slo=20,max=8,wait=0.05",
+        ] {
+            let a = batched_cluster(3, 6, spec).run(&t);
+            let b = batched_cluster(3, 6, spec).run(&t);
+            assert_eq!(a, b, "{spec}");
+            assert_eq!(a.completed, 80, "{spec}");
+            assert!(a.batched_requests > 0, "{spec} must coalesce something");
+        }
+    }
+
+    #[test]
+    fn coalescing_respects_the_tenant_inflight_cap() {
+        // §VI isolation must hold through the batching layer: with a
+        // 1-request tenant cap, a coalesced dispatch may not pull the
+        // capped tenant's queued requests into its batch (the forming
+        // batch itself counts toward the cap). The three requests
+        // serialise exactly like the per-request dispatch test:
+        // 2 s (cold) + 1 s + 1 s → max latency 4 s.
+        let mut cfg = ClusterConfig::test(3, 1000, Policy::lalbo3());
+        cfg.num_tenants = 2;
+        cfg.tenant_max_inflight = Some(1);
+        cfg.batching = "coalesce:max=8,wait=0.05".parse().unwrap();
+        let mut c = Cluster::new(cfg, toy_registry(1));
+        let m = c.run(&trace_of(&[(0.0, 0), (0.0, 0), (0.0, 0)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.batched_requests, 0, "the cap forbids coalescing here");
+        assert!(
+            (m.max_latency_secs - 4.0).abs() < 1e-6,
+            "{}",
+            m.max_latency_secs
+        );
+    }
+
+    #[test]
+    fn batching_survives_crashes_without_losing_requests() {
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalbo3());
+        cfg.batching = "coalesce:max=4,wait=0.05".parse().unwrap();
+        cfg.crash_rate = 0.3;
+        cfg.seed = 5;
+        let mut c = Cluster::new(cfg, toy_registry(3));
+        let reqs: Vec<(f64, u32)> = (0..40).map(|i| (i as f64 * 0.3, (i % 3) as u32)).collect();
+        let m = c.run(&trace_of(&reqs));
+        assert_eq!(m.completed, 40, "crashed batches retry whole");
+        assert!(c.crashes() > 0);
+    }
+
+    #[test]
+    fn draining_gpu_with_held_batch_finishes_before_going_offline() {
+        // A GPU drained *mid-hold* must still launch and finish its held
+        // batch before going offline.
+        #[derive(Debug)]
+        struct DrainAll;
+        impl crate::autoscale::Autoscaler for DrainAll {
+            fn name(&self) -> String {
+                "drain-all".into()
+            }
+            fn cadence(&self) -> SimDuration {
+                SimDuration::from_secs_f64(2.2)
+            }
+            fn step(&mut self, _view: &ScaleView<'_>) -> ScaleDecision {
+                ScaleDecision::Down(1)
+            }
+        }
+        let mut cfg = ClusterConfig::test(2, 1000, Policy::lalb());
+        cfg.batching = "coalesce:max=4,wait=0.5".parse().unwrap();
+        cfg.autoscale = Some(
+            "queue:min=1,max=2,up=99,down=0,cadence=2.2"
+                .parse()
+                .unwrap(),
+        );
+        let mut c = Cluster::new(cfg, toy_registry(2));
+        c.set_autoscaler(Box::new(DrainAll));
+        // gpu0 runs m0 until t=2 while two more m0 requests queue; at t=2
+        // they form a held batch (release 2.5). gpu1 runs m1 work and is
+        // busy again at the t=2.2 tick, so the victim order (both busy,
+        // stalest idle_since first) drains gpu0 — mid-hold. The hold must
+        // still fire, run its batch on the draining GPU, and only then
+        // take it offline.
+        let m = c.run(&trace_of(&[
+            (0.0, 0),
+            (0.1, 1),
+            (1.5, 0),
+            (1.6, 0),
+            (2.15, 1),
+        ]));
+        assert_eq!(m.completed, 5, "held requests survive the drain");
+        assert_eq!(m.scale_down_events, 1);
+        assert_eq!(m.effective_batch_hist, vec![(1, 3), (2, 1)]);
+        assert_eq!(c.units[0].state, UnitState::Offline);
+        assert!(c.units[0].holding.is_none());
+        assert_eq!(c.online_gpus(), 1);
+    }
+
+    #[test]
+    fn injected_custom_batcher_overrides_the_spec() {
+        /// Merges everything available, never holds.
+        #[derive(Debug)]
+        struct TakeAll;
+        impl crate::batching::BatchPolicy for TakeAll {
+            fn name(&self) -> String {
+                "take-all".into()
+            }
+            fn plan(&mut self, view: &crate::batching::BatchView) -> crate::batching::BatchPlan {
+                crate::batching::BatchPlan {
+                    max_requests: 1 + view.available,
+                    hold: None,
+                }
+            }
+        }
+        let mut c = batched_cluster(1, 1, "none");
+        c.set_batcher(Box::new(TakeAll));
+        assert_eq!(c.batcher_name(), "take-all");
+        let m = c.run(&trace_of(&[(0.0, 0), (0.01, 0), (0.02, 0)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.invocations, 1);
+        assert_eq!(m.avg_effective_batch, 3.0);
     }
 
     #[test]

@@ -139,6 +139,13 @@ pub struct ClusterConfig {
     pub replacement: PolicySpec,
     /// Inference batch size (the paper fixes 32 throughout §V).
     pub batch_size: usize,
+    /// Dynamic request-batching spec, resolved through
+    /// [`crate::policy::PolicyRegistry::batcher`] (`"none"` — the paper's
+    /// per-request dispatch and the default everywhere —
+    /// `"coalesce[:max=8,wait=0.05]"`, or
+    /// `"adaptive[:slo=30,max=32,wait=0.05]"`; see [`crate::batching`]).
+    /// Every published number is produced with batching off.
+    pub batching: PolicySpec,
     /// Algorithm 2's busy-holder handling (ablation; paper = `Estimate`).
     pub busy_wait: BusyWaitPolicy,
     /// Memory the Cache Manager keeps free on each GPU as an OOM guard.
@@ -188,6 +195,7 @@ impl ClusterConfig {
             tenant_max_inflight: None,
             replacement: PolicySpec::bare("lru"),
             batch_size: 32,
+            batching: PolicySpec::bare("none"),
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: PAPER_MEM_HEADROOM_MIB,
             autoscale: None,
@@ -209,6 +217,7 @@ impl ClusterConfig {
             tenant_max_inflight: None,
             replacement: PolicySpec::bare("lru"),
             batch_size: 32,
+            batching: PolicySpec::bare("none"),
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: 0,
             autoscale: None,

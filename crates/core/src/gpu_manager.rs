@@ -27,20 +27,85 @@ pub enum Phase {
     Running,
 }
 
-/// The request currently executing on a GPU.
-#[derive(Debug, Clone, Copy)]
+/// The work currently executing on a GPU: one invocation serving one or
+/// more coalesced same-model requests (one, unless a
+/// [`crate::batching::BatchPolicy`] merged a batch).
+#[derive(Debug, Clone)]
 pub struct InFlight {
-    /// The request.
-    pub request: Request,
+    /// The coalesced requests, lead first (the lead's dispatch decided
+    /// placement and hit/miss accounting). Never empty; all share one
+    /// model.
+    pub requests: Vec<Request>,
     /// Load-then-infer (miss) or infer-only (hit).
     pub phase: Phase,
-    /// Whether the dispatch was a cache hit.
+    /// Whether the lead dispatch was a cache hit (riding requests always
+    /// count as hits — they share the lead's upload or residency).
     pub was_hit: bool,
     /// When execution started on the device.
     pub started: SimTime,
     /// Dispatch sequence token; completion/crash events must match it
     /// (a crash invalidates the token so stale completions are ignored).
     pub seq: u64,
+}
+
+impl InFlight {
+    /// A single-request invocation (the paper's per-request dispatch).
+    pub fn solo(request: Request, phase: Phase, was_hit: bool, started: SimTime, seq: u64) -> Self {
+        InFlight {
+            requests: vec![request],
+            phase,
+            was_hit,
+            started,
+            seq,
+        }
+    }
+
+    /// The invocation's model (shared by every coalesced request).
+    pub fn model(&self) -> ModelId {
+        self.requests[0].model
+    }
+
+    /// The lead request.
+    pub fn lead(&self) -> &Request {
+        &self.requests[0]
+    }
+
+    /// Total inference inputs across the coalesced requests — what the
+    /// affine latency model is charged with.
+    pub fn items(&self) -> usize {
+        self.requests.iter().map(|r| r.batch).sum()
+    }
+}
+
+/// A batch parked on a GPU by a [`crate::batching::BatchPolicy`] hold:
+/// the dispatch is delayed briefly so more same-model requests can join.
+/// The GPU is reserved (not idle) while holding; a `BatchHold` timer —
+/// or the batch filling to `max_requests` — launches it.
+#[derive(Debug, Clone)]
+pub struct HoldSlot {
+    /// The requests gathered so far, lead first (never empty).
+    pub requests: Vec<Request>,
+    /// Fill target: reaching it launches the batch before the timer.
+    pub max_requests: usize,
+    /// Whether the lead dispatch was a cache hit.
+    pub hit: bool,
+    /// When the hold timer fires.
+    pub release_at: SimTime,
+    /// Sequence token matching the scheduled `BatchHold` event (an early
+    /// launch clears the slot; the stale timer is then ignored).
+    pub seq: u64,
+}
+
+impl HoldSlot {
+    /// The held batch's model.
+    pub fn model(&self) -> ModelId {
+        self.requests[0].model
+    }
+
+    /// Total inference inputs gathered so far.
+    pub fn items(&self) -> usize {
+        self.requests.iter().map(|r| r.batch).sum()
+    }
 }
 
 /// Provisioning state of a GPU in an elastic cluster.
@@ -69,8 +134,11 @@ pub struct GpuUnit {
     /// by construction — Algorithm 2 only moves a request here when the
     /// model is resident).
     pub local_queue: VecDeque<Request>,
-    /// The in-flight request, if any.
+    /// The in-flight invocation, if any.
     pub in_flight: Option<InFlight>,
+    /// A batch held back for coalescing ([`HoldSlot`]), if any. A holding
+    /// GPU is reserved: not idle, but nothing runs on the device yet.
+    pub holding: Option<HoldSlot>,
     /// Cache hits served; Algorithm 1 sorts idle GPUs by this frequency.
     pub hits: u64,
     /// When the GPU last became idle (for the LB baseline's longest-idle
@@ -93,6 +161,7 @@ impl GpuUnit {
             device,
             local_queue: VecDeque::new(),
             in_flight: None,
+            holding: None,
             hits: 0,
             idle_since: SimTime::ZERO,
             state: UnitState::Online,
@@ -117,11 +186,11 @@ impl GpuUnit {
         self.device.id()
     }
 
-    /// True iff no request is in flight (the *device* may briefly report
-    /// idle between load completion and inference start; the unit is the
-    /// authority).
+    /// True iff no invocation is in flight and no held batch reserves the
+    /// GPU (the *device* may briefly report idle between load completion
+    /// and inference start; the unit is the authority).
     pub fn is_idle(&self) -> bool {
-        self.in_flight.is_none()
+        self.in_flight.is_none() && self.holding.is_none()
     }
 
     /// Estimated time from `now` until this GPU has drained its current
@@ -140,9 +209,17 @@ impl GpuUnit {
     /// infer-only sum biased the wait-vs-load comparison toward waiting.
     /// `infer_time` maps (model, batch) to latency; `load_time` maps a
     /// model to its upload time on this GPU.
+    ///
+    /// With `coalesced` set (a [`crate::batching::BatchPolicy`] other
+    /// than `none` is active), same-model local-queue entries are charged
+    /// as *one* invocation over their combined inputs — the affine
+    /// latency model's batch time, not a per-request sum — since that is
+    /// how the driver will actually run them. Per-request dispatch keeps
+    /// the paper's per-request sum, byte-identically.
     pub fn estimated_wait(
         &self,
         now: SimTime,
+        coalesced: bool,
         infer_time: impl Fn(ModelId, usize) -> SimDuration,
         load_time: impl Fn(ModelId) -> SimDuration,
     ) -> SimDuration {
@@ -153,16 +230,110 @@ impl GpuUnit {
             .unwrap_or(SimDuration::ZERO);
         if let Some(f) = &self.in_flight {
             if f.phase == Phase::Loading {
-                wait += infer_time(f.request.model, f.request.batch);
+                // A coalesced invocation is charged its whole batch, not
+                // one request's worth.
+                wait += infer_time(f.model(), f.items());
             }
         }
-        let mut pending_loads: Vec<ModelId> = Vec::new();
-        for r in &self.local_queue {
-            if !self.device.has_model(r.model) && !pending_loads.contains(&r.model) {
-                pending_loads.push(r.model);
-                wait += load_time(r.model);
+        if let Some(h) = &self.holding {
+            // A held batch still has its hold remainder, its upload when
+            // the model is not resident, and its coalesced inference
+            // ahead of it.
+            wait += h.release_at.duration_since(now.min(h.release_at));
+            if !self.device.has_model(h.model()) {
+                wait += load_time(h.model());
             }
-            wait += infer_time(r.model, r.batch);
+            wait += infer_time(h.model(), h.items());
+        }
+        if coalesced {
+            // Same-model entries will run as one coalesced invocation:
+            // charge each distinct model one upload (when missing) and
+            // one affine inference over the group's combined inputs.
+            let mut groups: Vec<(ModelId, usize)> = Vec::new();
+            for r in &self.local_queue {
+                match groups.iter_mut().find(|(m, _)| *m == r.model) {
+                    Some(g) => g.1 += r.batch,
+                    None => groups.push((r.model, r.batch)),
+                }
+            }
+            for (model, items) in groups {
+                if !self.device.has_model(model) {
+                    wait += load_time(model);
+                }
+                wait += infer_time(model, items);
+            }
+        } else {
+            let mut pending_loads: Vec<ModelId> = Vec::new();
+            for r in &self.local_queue {
+                if !self.device.has_model(r.model) && !pending_loads.contains(&r.model) {
+                    pending_loads.push(r.model);
+                    wait += load_time(r.model);
+                }
+                wait += infer_time(r.model, r.batch);
+            }
+        }
+        wait
+    }
+
+    /// Estimated time from `now` until a request for `model` joining this
+    /// GPU's local queue would *start being served* under coalescing: it
+    /// rides the in-flight invocation if that is still uploading `model`,
+    /// joins a held batch of `model`, or shares its model's local-queue
+    /// group's invocation — so preceding work is charged, but never the
+    /// group it merges into. With no same-model work queued, this is the
+    /// full coalesced drain ([`GpuUnit::estimated_wait`] with
+    /// `coalesced`). Algorithm 2's wait-vs-load comparison uses this
+    /// under batching: joining a busy holder is cheaper than the
+    /// per-request drain suggests, which is what makes waiting beat
+    /// replicating the model.
+    pub fn estimated_join_wait(
+        &self,
+        now: SimTime,
+        model: ModelId,
+        infer_time: impl Fn(ModelId, usize) -> SimDuration,
+        load_time: impl Fn(ModelId) -> SimDuration,
+    ) -> SimDuration {
+        let mut wait = self
+            .device
+            .busy_until()
+            .map(|t| t.duration_since(now))
+            .unwrap_or(SimDuration::ZERO);
+        if let Some(f) = &self.in_flight {
+            if f.phase == Phase::Loading {
+                if f.model() == model {
+                    // Joins the forming invocation when the upload ends.
+                    return wait;
+                }
+                wait += infer_time(f.model(), f.items());
+            }
+        }
+        if let Some(h) = &self.holding {
+            wait += h.release_at.duration_since(now.min(h.release_at));
+            if h.model() == model {
+                return wait; // joins the held batch at its release
+            }
+            if !self.device.has_model(h.model()) {
+                wait += load_time(h.model());
+            }
+            wait += infer_time(h.model(), h.items());
+        }
+        // Local-queue groups run in first-entry order; the request shares
+        // its own model's group, so later groups never count.
+        let mut groups: Vec<(ModelId, usize)> = Vec::new();
+        for r in &self.local_queue {
+            match groups.iter_mut().find(|(m, _)| *m == r.model) {
+                Some(g) => g.1 += r.batch,
+                None => groups.push((r.model, r.batch)),
+            }
+        }
+        for (m, items) in groups {
+            if m == model {
+                return wait;
+            }
+            if !self.device.has_model(m) {
+                wait += load_time(m);
+            }
+            wait += infer_time(m, items);
         }
         wait
     }
@@ -170,20 +341,41 @@ impl GpuUnit {
     /// Estimated finish time of a *new* request appended after the queue:
     /// the drain estimate, plus the request's own upload when its model is
     /// not yet resident (and not already charged by a queued request),
-    /// plus its inference.
+    /// plus its inference. With `coalesced` set, a request whose model
+    /// already has queued (or held) work joins that invocation and is
+    /// charged only the *marginal* affine cost of its inputs.
     pub fn estimated_finish(
         &self,
         now: SimTime,
+        coalesced: bool,
         request: &Request,
         infer_time: impl Fn(ModelId, usize) -> SimDuration,
         load_time: impl Fn(ModelId) -> SimDuration,
     ) -> SimDuration {
-        let mut finish = self.estimated_wait(now, &infer_time, &load_time);
-        let charged_by_queue = self.local_queue.iter().any(|r| r.model == request.model);
-        if !self.device.has_model(request.model) && !charged_by_queue {
+        let mut finish = self.estimated_wait(now, coalesced, &infer_time, &load_time);
+        let group_items: usize = self
+            .local_queue
+            .iter()
+            .filter(|r| r.model == request.model)
+            .map(|r| r.batch)
+            .sum::<usize>()
+            + self
+                .holding
+                .as_ref()
+                .filter(|h| h.model() == request.model)
+                .map_or(0, |h| h.items());
+        if !self.device.has_model(request.model) && group_items == 0 {
             finish += load_time(request.model);
         }
-        finish + infer_time(request.model, request.batch)
+        if coalesced && group_items > 0 {
+            // Marginal cost of joining the group's invocation: the base
+            // term is already charged by the drain estimate.
+            finish
+                + infer_time(request.model, group_items + request.batch)
+                    .saturating_sub(infer_time(request.model, group_items))
+        } else {
+            finish + infer_time(request.model, request.batch)
+        }
     }
 }
 
@@ -231,7 +423,7 @@ mod tests {
         let u = unit();
         assert!(u.is_idle());
         assert_eq!(
-            u.estimated_wait(t(0), |_, _| d(1), no_load),
+            u.estimated_wait(t(0), false, |_, _| d(1), no_load),
             SimDuration::ZERO
         );
     }
@@ -243,19 +435,13 @@ mod tests {
         let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
         u.device.complete_load(ready, ModelId(0)).unwrap();
         u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
-        u.in_flight = Some(InFlight {
-            request: req(1, 0),
-            phase: Phase::Running,
-            was_hit: true,
-            started: ready,
-            seq: 0,
-        });
+        u.in_flight = Some(InFlight::solo(req(1, 0), Phase::Running, true, ready, 0));
         u.local_queue.push_back(req(2, 0));
         u.local_queue.push_back(req(3, 0));
-        let wait = u.estimated_wait(ready, |_, _| d(2), no_load);
+        let wait = u.estimated_wait(ready, false, |_, _| d(2), no_load);
         // Remaining inference (10 s) + 2 resident local hits × 2 s.
         assert_eq!(wait, d(14));
-        let finish = u.estimated_finish(ready, &req(4, 0), |_, _| d(2), no_load);
+        let finish = u.estimated_finish(ready, false, &req(4, 0), |_, _| d(2), no_load);
         assert_eq!(finish, d(16));
         assert!(!u.is_idle());
     }
@@ -266,8 +452,8 @@ mod tests {
         let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
         u.device.complete_load(ready, ModelId(0)).unwrap();
         u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
-        let early = u.estimated_wait(ready, |_, _| d(0), no_load);
-        let late = u.estimated_wait(ready + d(6), |_, _| d(0), no_load);
+        let early = u.estimated_wait(ready, false, |_, _| d(0), no_load);
+        let late = u.estimated_wait(ready + d(6), false, |_, _| d(0), no_load);
         assert_eq!(early, d(10));
         assert_eq!(late, d(4));
     }
@@ -281,18 +467,12 @@ mod tests {
         let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
         u.device.complete_load(ready, ModelId(0)).unwrap();
         u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
-        u.in_flight = Some(InFlight {
-            request: req(1, 0),
-            phase: Phase::Running,
-            was_hit: true,
-            started: ready,
-            seq: 0,
-        });
+        u.in_flight = Some(InFlight::solo(req(1, 0), Phase::Running, true, ready, 0));
         u.local_queue.push_back(req(2, 7));
         u.local_queue.push_back(req(3, 7));
         u.local_queue.push_back(req(4, 8));
         u.local_queue.push_back(req(5, 0));
-        let wait = u.estimated_wait(ready, |_, _| d(2), |_| d(3));
+        let wait = u.estimated_wait(ready, false, |_, _| d(2), |_| d(3));
         // 10 (in flight) + 4 × 2 (inferences) + 2 × 3 (loads of 7 and 8,
         // each charged once).
         assert_eq!(wait, d(24));
@@ -304,24 +484,18 @@ mod tests {
         let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
         u.device.complete_load(ready, ModelId(0)).unwrap();
         u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
-        u.in_flight = Some(InFlight {
-            request: req(1, 0),
-            phase: Phase::Running,
-            was_hit: true,
-            started: ready,
-            seq: 0,
-        });
+        u.in_flight = Some(InFlight::solo(req(1, 0), Phase::Running, true, ready, 0));
         // Missing model, nothing queued for it: wait 10 + load 3 + infer 2.
-        let cold = u.estimated_finish(ready, &req(2, 7), |_, _| d(2), |_| d(3));
+        let cold = u.estimated_finish(ready, false, &req(2, 7), |_, _| d(2), |_| d(3));
         assert_eq!(cold, d(15));
         // Resident model: no load term.
-        let hit = u.estimated_finish(ready, &req(3, 0), |_, _| d(2), |_| d(3));
+        let hit = u.estimated_finish(ready, false, &req(3, 0), |_, _| d(2), |_| d(3));
         assert_eq!(hit, d(12));
         // Missing model already charged by a queued request: the new
         // request rides the same upload (wait 10 + load 3 + infer 2,
         // plus its own infer 2).
         u.local_queue.push_back(req(4, 7));
-        let shared = u.estimated_finish(ready, &req(5, 7), |_, _| d(2), |_| d(3));
+        let shared = u.estimated_finish(ready, false, &req(5, 7), |_, _| d(2), |_| d(3));
         assert_eq!(shared, d(17));
     }
 
@@ -338,16 +512,10 @@ mod tests {
         let (_, ready) = u.device.start_load(t(0), ModelId(0), 100 * MIB).unwrap();
         u.device.complete_load(ready, ModelId(0)).unwrap();
         u.device.start_inference(ready, ModelId(0), d(10)).unwrap();
-        u.in_flight = Some(InFlight {
-            request: req(1, 0),
-            phase: Phase::Running,
-            was_hit: true,
-            started: ready,
-            seq: 0,
-        });
+        u.in_flight = Some(InFlight::solo(req(1, 0), Phase::Running, true, ready, 0));
         u.local_queue.push_back(req(2, 0));
         u.local_queue.push_back(req(3, 7));
-        let estimate = u.estimated_wait(ready, infer, load);
+        let estimate = u.estimated_wait(ready, false, infer, load);
 
         // Replay the actual schedule.
         let end_inflight = ready + d(10);

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod autoscale;
+pub mod batching;
 pub mod cache;
 pub mod cluster;
 pub mod config;
@@ -54,6 +55,7 @@ pub mod tinylfu;
 pub use autoscale::{
     AutoscaleError, AutoscaleSpec, Autoscaler, QueuePressureAutoscaler, ScaleDecision,
 };
+pub use batching::{AdaptiveBatch, BatchPlan, BatchPolicy, BatchView, CoalesceBatch, NoBatch};
 pub use cache::{CacheManager, Evictor, FifoEvictor, LruEvictor, RandomEvictor, ReplacementPolicy};
 pub use cluster::{Cluster, ScaleView, SchedCtx};
 pub use config::{ClusterConfig, ConfigError};

@@ -8,6 +8,8 @@
 //! * Fig 6  — time-averaged number of GPUs holding the hottest model;
 //! * Fig 7  — latency variance (the O3 sensitivity study).
 
+use std::collections::BTreeMap;
+
 use gfaas_sim::stats::{Histogram, Ratio, TimeWeighted, Welford};
 use gfaas_sim::time::{SimDuration, SimTime};
 
@@ -21,6 +23,11 @@ pub struct MetricsCollector {
     duplicates: TimeWeighted,
     completed: u64,
     queue_peak: usize,
+    /// Completed GPU invocations keyed by effective batch (coalesced
+    /// requests per invocation); per-request dispatch puts everything in
+    /// bucket 1.
+    invocation_batches: BTreeMap<usize, u64>,
+    batched_requests: u64,
 }
 
 impl Default for MetricsCollector {
@@ -35,6 +42,8 @@ impl Default for MetricsCollector {
             duplicates: TimeWeighted::new(),
             completed: 0,
             queue_peak: 0,
+            invocation_batches: BTreeMap::new(),
+            batched_requests: 0,
         }
     }
 }
@@ -72,6 +81,15 @@ impl MetricsCollector {
         self.queue_peak = self.queue_peak.max(len);
     }
 
+    /// Records a completed GPU invocation that served `requests` coalesced
+    /// requests (1 for per-request dispatch).
+    pub fn record_invocation(&mut self, requests: usize) {
+        *self.invocation_batches.entry(requests).or_insert(0) += 1;
+        if requests > 1 {
+            self.batched_requests += requests as u64;
+        }
+    }
+
     /// Requests completed so far.
     pub fn completed(&self) -> u64 {
         self.completed
@@ -85,6 +103,12 @@ impl MetricsCollector {
         let p50 = self.latency_hist.quantile(0.5).unwrap_or(0.0);
         let p95 = self.latency_hist.quantile(0.95).unwrap_or(0.0);
         let p99 = self.latency_hist.quantile(0.99).unwrap_or(0.0);
+        let invocations: u64 = self.invocation_batches.values().sum();
+        let coalesced: u64 = self
+            .invocation_batches
+            .iter()
+            .map(|(&b, &n)| b as u64 * n)
+            .sum();
         RunMetrics {
             p50_latency_secs: p50,
             p95_latency_secs: p95,
@@ -109,6 +133,15 @@ impl MetricsCollector {
             gpu_seconds_provisioned: 0.0,
             scale_up_events: 0,
             scale_down_events: 0,
+            gpu_busy_seconds: 0.0,
+            invocations,
+            avg_effective_batch: if invocations == 0 {
+                0.0
+            } else {
+                coalesced as f64 / invocations as f64
+            },
+            batched_requests: self.batched_requests,
+            effective_batch_hist: self.invocation_batches.into_iter().collect(),
         }
     }
 }
@@ -160,6 +193,25 @@ pub struct RunMetrics {
     /// GPUs drained offline by the autoscaler over the run (0 for fixed
     /// clusters).
     pub scale_down_events: u64,
+    /// Integrated GPU *busy* time over the run, in GPU-seconds: every
+    /// model-upload and inference interval actually executed (including
+    /// work lost to injected crashes). The hardware cost per completed
+    /// request that batching amortises; always ≤
+    /// `gpu_seconds_provisioned`. Filled in by the cluster driver.
+    pub gpu_busy_seconds: f64,
+    /// GPU inference invocations completed. Equals `completed` under
+    /// per-request dispatch; lower when a
+    /// [`crate::batching::BatchPolicy`] coalesces requests.
+    pub invocations: u64,
+    /// Mean coalesced requests per invocation (`completed / invocations`;
+    /// 1.0 under per-request dispatch, 0 for an empty run).
+    pub avg_effective_batch: f64,
+    /// Requests served by invocations that coalesced at least two
+    /// requests (0 under per-request dispatch).
+    pub batched_requests: u64,
+    /// Effective-batch histogram: `(requests per invocation, invocation
+    /// count)` pairs, ascending.
+    pub effective_batch_hist: Vec<(usize, u64)>,
 }
 
 impl RunMetrics {
@@ -218,6 +270,38 @@ mod tests {
         assert_eq!(m.avg_latency_secs, 0.0);
         assert_eq!(m.miss_ratio, 0.0);
         assert_eq!(m.false_miss_ratio, 0.0);
+    }
+
+    #[test]
+    fn invocation_accounting_tracks_effective_batches() {
+        let mut c = MetricsCollector::new();
+        // Two solo invocations, one 3-request batch, one 2-request batch.
+        for _ in 0..7 {
+            c.record_completion(SimDuration::from_secs(1));
+        }
+        c.record_invocation(1);
+        c.record_invocation(1);
+        c.record_invocation(3);
+        c.record_invocation(2);
+        let m = c.finish(SimTime::from_secs(10), 0.0);
+        assert_eq!(m.invocations, 4);
+        assert!((m.avg_effective_batch - 7.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.batched_requests, 5, "only multi-request invocations");
+        assert_eq!(m.effective_batch_hist, vec![(1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn per_request_dispatch_reports_unit_batches() {
+        let mut c = MetricsCollector::new();
+        for _ in 0..3 {
+            c.record_completion(SimDuration::from_secs(1));
+            c.record_invocation(1);
+        }
+        let m = c.finish(SimTime::from_secs(5), 0.0);
+        assert_eq!(m.invocations, m.completed);
+        assert_eq!(m.avg_effective_batch, 1.0);
+        assert_eq!(m.batched_requests, 0);
+        assert_eq!(m.effective_batch_hist, vec![(1, 3)]);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use gfaas_sim::time::SimDuration;
+
+use crate::batching::{AdaptiveBatch, BatchPolicy, CoalesceBatch, NoBatch};
 use crate::cache::{Evictor, FifoEvictor, LruEvictor, RandomEvictor};
 use crate::scheduler::{LalbScheduler, LbScheduler, SchedulerPolicy, DEFAULT_O3_LIMIT};
 use crate::tinylfu::TinyLfuEvictor;
@@ -36,6 +39,8 @@ pub enum PolicyError {
     UnknownScheduler(String),
     /// No evictor is registered under this key.
     UnknownEvictor(String),
+    /// No batching policy is registered under this key.
+    UnknownBatcher(String),
     /// The key takes no argument but one was given.
     UnexpectedArg {
         /// The offending key.
@@ -60,6 +65,7 @@ impl fmt::Display for PolicyError {
             PolicyError::BadSpec(s) => write!(f, "malformed policy spec {s:?}"),
             PolicyError::UnknownScheduler(k) => write!(f, "unknown scheduler policy {k:?}"),
             PolicyError::UnknownEvictor(k) => write!(f, "unknown replacement policy {k:?}"),
+            PolicyError::UnknownBatcher(k) => write!(f, "unknown batching policy {k:?}"),
             PolicyError::UnexpectedArg { key, arg } => {
                 write!(f, "policy {key:?} takes no argument (got {arg:?})")
             }
@@ -212,10 +218,15 @@ pub type SchedulerFactory =
 pub type EvictorFactory =
     Box<dyn Fn(&PolicySpec, u64) -> Result<Box<dyn Evictor>, PolicyError> + Send + Sync>;
 
-/// A string-keyed registry of scheduler and evictor factories.
+/// Factory producing a batching policy from its spec.
+pub type BatcherFactory =
+    Box<dyn Fn(&PolicySpec) -> Result<Box<dyn BatchPolicy>, PolicyError> + Send + Sync>;
+
+/// A string-keyed registry of scheduler, evictor, and batcher factories.
 pub struct PolicyRegistry {
     schedulers: BTreeMap<String, SchedulerFactory>,
     evictors: BTreeMap<String, EvictorFactory>,
+    batchers: BTreeMap<String, BatcherFactory>,
 }
 
 impl fmt::Debug for PolicyRegistry {
@@ -223,8 +234,62 @@ impl fmt::Debug for PolicyRegistry {
         f.debug_struct("PolicyRegistry")
             .field("schedulers", &self.scheduler_keys())
             .field("evictors", &self.evictor_keys())
+            .field("batchers", &self.batcher_keys())
             .finish()
     }
+}
+
+/// Parsed batching-spec field overrides: `(slo, max, wait)`.
+type BatchFields = (Option<f64>, Option<usize>, Option<f64>);
+
+/// Parses a `field=value,…` batching argument (e.g. `max=8,wait=0.05`)
+/// into `(slo, max, wait)` overrides, rejecting unknown fields. `slo`
+/// is only accepted when `allow_slo` is set (the `adaptive` key).
+fn parse_batch_fields(spec: &PolicySpec, allow_slo: bool) -> Result<BatchFields, PolicyError> {
+    let bad = |expected: &'static str| PolicyError::BadArg {
+        key: spec.key().to_string(),
+        arg: spec.arg().unwrap_or_default().to_string(),
+        expected,
+    };
+    let (mut slo, mut max, mut wait) = (None, None, None);
+    if let Some(arg) = spec.arg() {
+        for pair in arg.split(',') {
+            let Some((field, value)) = pair.split_once('=') else {
+                return Err(bad("field=value pairs (max=, wait=, slo=)"));
+            };
+            match field {
+                "max" => {
+                    max = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&m| m > 0)
+                            .ok_or_else(|| bad("a positive max batch (requests)"))?,
+                    )
+                }
+                "wait" => {
+                    wait = Some(
+                        value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w >= 0.0)
+                            .ok_or_else(|| bad("a nonnegative hold wait in seconds"))?,
+                    )
+                }
+                "slo" if allow_slo => {
+                    slo = Some(
+                        value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|s| s.is_finite() && *s > 0.0)
+                            .ok_or_else(|| bad("a positive SLO target in seconds"))?,
+                    )
+                }
+                _ => return Err(bad("fields max=, wait= (and slo= for adaptive)")),
+            }
+        }
+    }
+    Ok((slo, max, wait))
 }
 
 impl Default for PolicyRegistry {
@@ -239,11 +304,14 @@ impl PolicyRegistry {
         PolicyRegistry {
             schedulers: BTreeMap::new(),
             evictors: BTreeMap::new(),
+            batchers: BTreeMap::new(),
         }
     }
 
     /// The builtin registry: schedulers `lb`, `lalb`, `lalbo3[:limit]`;
-    /// evictors `lru`, `fifo`, `random`, `tinylfu[:decay]`.
+    /// evictors `lru`, `fifo`, `random`,
+    /// `tinylfu[:decay[,window][,front=k]]`; batchers `none`,
+    /// `coalesce[:max=8,wait=0.05]`, `adaptive[:slo=30,max=32,wait=0.05]`.
     pub fn builtin() -> Self {
         let mut reg = PolicyRegistry::empty();
         reg.register_scheduler("lb", |spec| {
@@ -273,39 +341,65 @@ impl PolicyRegistry {
             Ok(Box::new(RandomEvictor::new(seed)))
         });
         reg.register_evictor("tinylfu", |spec, _seed| {
-            // Arg grammar: `decay[,window]` — e.g. `tinylfu:0.9` or
-            // `tinylfu:0.9,256`.
+            // Arg grammar: `decay[,window][,front=k]` — e.g. `tinylfu:0.9`,
+            // `tinylfu:0.9,256`, or the W-TinyLFU admission window
+            // `tinylfu:0.3,front=2`.
             let bad = |expected: &'static str| PolicyError::BadArg {
                 key: spec.key().to_string(),
                 arg: spec.arg().unwrap_or_default().to_string(),
                 expected,
             };
-            let (decay, window) = match spec.arg() {
-                None => (
-                    crate::tinylfu::DEFAULT_DECAY,
-                    crate::tinylfu::DEFAULT_WINDOW,
-                ),
-                Some(a) => {
-                    let (d, w) = match a.split_once(',') {
-                        None => (a, None),
-                        Some((d, w)) => (d, Some(w)),
-                    };
-                    let decay: f64 = d.parse().map_err(|_| bad("a decay factor in (0, 1)"))?;
-                    let window: u64 = match w {
-                        None => crate::tinylfu::DEFAULT_WINDOW,
-                        Some(w) => w
+            let mut decay = crate::tinylfu::DEFAULT_DECAY;
+            let mut window = crate::tinylfu::DEFAULT_WINDOW;
+            let mut front = crate::tinylfu::DEFAULT_FRONT;
+            if let Some(a) = spec.arg() {
+                let mut saw_window = false;
+                for (i, part) in a.split(',').enumerate() {
+                    if i == 0 {
+                        decay = part.parse().map_err(|_| bad("a decay factor in (0, 1)"))?;
+                    } else if let Some(k) = part.strip_prefix("front=") {
+                        front = k
+                            .parse()
+                            .map_err(|_| bad("front=<admission window size>"))?;
+                    } else if !saw_window {
+                        saw_window = true;
+                        window = part
                             .parse()
                             .ok()
                             .filter(|&w| w > 0)
-                            .ok_or_else(|| bad("a positive decay window"))?,
-                    };
-                    (decay, window)
+                            .ok_or_else(|| bad("a positive decay window"))?;
+                    } else {
+                        return Err(bad("`decay[,window][,front=k]`"));
+                    }
                 }
-            };
+            }
             if !(decay > 0.0 && decay < 1.0) {
                 return Err(bad("a decay factor in (0, 1)"));
             }
-            Ok(Box::new(TinyLfuEvictor::new(decay).with_window(window)))
+            Ok(Box::new(
+                TinyLfuEvictor::new(decay)
+                    .with_window(window)
+                    .with_front(front),
+            ))
+        });
+        reg.register_batcher("none", |spec| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(NoBatch))
+        });
+        reg.register_batcher("coalesce", |spec| {
+            let (_, max, wait) = parse_batch_fields(spec, false)?;
+            Ok(Box::new(CoalesceBatch::new(
+                max.unwrap_or(crate::batching::DEFAULT_MAX_COALESCE),
+                SimDuration::from_secs_f64(wait.unwrap_or(crate::batching::DEFAULT_HOLD_WAIT_SECS)),
+            )))
+        });
+        reg.register_batcher("adaptive", |spec| {
+            let (slo, max, wait) = parse_batch_fields(spec, true)?;
+            Ok(Box::new(AdaptiveBatch::new(
+                slo.unwrap_or(crate::batching::DEFAULT_SLO_SECS),
+                max.unwrap_or(crate::batching::DEFAULT_MAX_ADAPTIVE),
+                SimDuration::from_secs_f64(wait.unwrap_or(crate::batching::DEFAULT_HOLD_WAIT_SECS)),
+            )))
         });
         reg
     }
@@ -324,6 +418,14 @@ impl PolicyRegistry {
         F: Fn(&PolicySpec, u64) -> Result<Box<dyn Evictor>, PolicyError> + Send + Sync + 'static,
     {
         self.evictors.insert(key.to_string(), Box::new(factory));
+    }
+
+    /// Registers (or replaces) a batching-policy factory under `key`.
+    pub fn register_batcher<F>(&mut self, key: &str, factory: F)
+    where
+        F: Fn(&PolicySpec) -> Result<Box<dyn BatchPolicy>, PolicyError> + Send + Sync + 'static,
+    {
+        self.batchers.insert(key.to_string(), Box::new(factory));
     }
 
     /// Instantiates the scheduler `spec` names.
@@ -345,9 +447,23 @@ impl PolicyRegistry {
         factory(spec, seed)
     }
 
+    /// Instantiates the batching policy `spec` names.
+    pub fn batcher(&self, spec: &PolicySpec) -> Result<Box<dyn BatchPolicy>, PolicyError> {
+        let factory = self
+            .batchers
+            .get(spec.key())
+            .ok_or_else(|| PolicyError::UnknownBatcher(spec.key().to_string()))?;
+        factory(spec)
+    }
+
     /// The display name of the scheduler `spec` names (instantiates it).
     pub fn scheduler_name(&self, spec: &PolicySpec) -> Result<String, PolicyError> {
         Ok(self.scheduler(spec)?.name())
+    }
+
+    /// The display name of the batcher `spec` names (instantiates it).
+    pub fn batcher_name(&self, spec: &PolicySpec) -> Result<String, PolicyError> {
+        Ok(self.batcher(spec)?.name())
     }
 
     /// Registered scheduler keys, sorted.
@@ -358,6 +474,11 @@ impl PolicyRegistry {
     /// Registered evictor keys, sorted.
     pub fn evictor_keys(&self) -> Vec<&str> {
         self.evictors.keys().map(String::as_str).collect()
+    }
+
+    /// Registered batcher keys, sorted.
+    pub fn batcher_keys(&self) -> Vec<&str> {
+        self.batchers.keys().map(String::as_str).collect()
     }
 }
 
@@ -413,6 +534,66 @@ mod tests {
             let ev = reg.evictor(&PolicySpec::parse(spec).unwrap(), 7).unwrap();
             assert_eq!(ev.name(), spec.split(':').next().unwrap());
         }
+    }
+
+    #[test]
+    fn builtin_batcher_resolution() {
+        let reg = PolicyRegistry::builtin();
+        assert_eq!(reg.batcher_keys(), vec!["adaptive", "coalesce", "none"]);
+        let cases = [
+            ("none", "none"),
+            ("coalesce", "coalesce(max=8)"),
+            ("coalesce:max=8,wait=0.1", "coalesce(max=8)"),
+            ("coalesce:wait=0", "coalesce(max=8)"),
+            ("adaptive", "adaptive(slo=30s,max=32)"),
+            ("adaptive:slo=2.5,max=16", "adaptive(slo=2.5s,max=16)"),
+        ];
+        for (spec, name) in cases {
+            let got = reg.batcher_name(&PolicySpec::parse(spec).unwrap()).unwrap();
+            assert_eq!(got, name, "{spec}");
+        }
+        assert!(reg
+            .batcher(&PolicySpec::parse("none").unwrap())
+            .unwrap()
+            .is_passthrough());
+    }
+
+    #[test]
+    fn bad_batcher_arguments_are_rejected() {
+        let reg = PolicyRegistry::builtin();
+        for bad in [
+            "none:1",
+            "coalesce:max=0",
+            "coalesce:max=x",
+            "coalesce:wait=-1",
+            "coalesce:slo=5", // slo only for adaptive
+            "coalesce:64",    // bare value, not field=value
+            "adaptive:slo=0",
+            "adaptive:slo=nan",
+            "adaptive:wat=1",
+            "batchy",
+        ] {
+            let spec = PolicySpec::parse(bad).unwrap();
+            assert!(reg.batcher(&spec).is_err(), "{bad:?} should be rejected");
+        }
+        assert_eq!(
+            reg.batcher(&PolicySpec::bare("batchy")).unwrap_err(),
+            PolicyError::UnknownBatcher("batchy".to_string())
+        );
+    }
+
+    #[test]
+    fn custom_batcher_registration_extends_the_namespace() {
+        let mut reg = PolicyRegistry::builtin();
+        reg.register_batcher("pairs", |spec| {
+            spec.expect_no_arg()?;
+            Ok(Box::new(crate::batching::CoalesceBatch::new(
+                2,
+                gfaas_sim::time::SimDuration::ZERO,
+            )))
+        });
+        let b = reg.batcher(&PolicySpec::bare("pairs")).unwrap();
+        assert_eq!(b.name(), "coalesce(max=2)");
     }
 
     #[test]

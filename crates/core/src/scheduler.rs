@@ -209,11 +209,14 @@ impl LalbScheduler {
         }
         // Lines 8–15: cached only on busy GPUs. Compare the best holder's
         // estimated finish time against the load time of a cold start.
-        // `busy_wait` ablates this decision (DESIGN.md §4).
+        // `busy_wait` ablates this decision (DESIGN.md §4). Under a
+        // batching policy the wait is join-aware (the request shares its
+        // model's coalesced invocation); per-request dispatch keeps the
+        // paper's drain estimate byte-identically.
         let load_time = ctx.load_time(gpu, r.model);
         let best = holders
             .iter()
-            .map(|&j| (ctx.estimated_wait(j), j))
+            .map(|&j| (ctx.estimated_wait_for(j, r.model), j))
             .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         if let Some((wait, j)) = best {
             let join_queue = match ctx.busy_wait() {

@@ -33,16 +33,32 @@ pub const DEFAULT_DECAY: f64 = 0.5;
 /// paper scale (~325 requests), large enough to smooth Zipf noise.
 pub const DEFAULT_WINDOW: u64 = 128;
 
+/// Default W-TinyLFU admission-window size (0 = no window; pure TinyLFU).
+pub const DEFAULT_FRONT: usize = 0;
+
 /// Windowed frequency-decay replacement ([`Evictor`] impl).
+///
+/// With `front > 0` the evictor runs as W-TinyLFU (Einziger et al.'s
+/// *window* variant): the `front` most recently *inserted* models on each
+/// GPU form a small LRU admission window that frequency-based eviction
+/// cannot touch while older residents exist. Churn entrants therefore get
+/// `front` insertions' worth of grace to build frequency before they
+/// compete on it — the failure mode of plain TinyLFU under working-set
+/// *slide*, where a new hot model's counter is still near zero when the
+/// next miss needs a victim.
 #[derive(Debug, Clone)]
 pub struct TinyLfuEvictor {
     lists: OrderLists,
     /// Decayed access counts, shared across GPUs (popularity is a property
     /// of the model, not of the replica).
     freq: BTreeMap<ModelId, f64>,
+    /// Per-GPU insertion order (oldest first) — the bookkeeping behind the
+    /// admission window.
+    inserts: BTreeMap<GpuId, Vec<ModelId>>,
     accesses: u64,
     window: u64,
     decay: f64,
+    front: usize,
 }
 
 impl Default for TinyLfuEvictor {
@@ -64,9 +80,11 @@ impl TinyLfuEvictor {
         TinyLfuEvictor {
             lists: OrderLists::default(),
             freq: BTreeMap::new(),
+            inserts: BTreeMap::new(),
             accesses: 0,
             window: DEFAULT_WINDOW,
             decay,
+            front: DEFAULT_FRONT,
         }
     }
 
@@ -78,6 +96,19 @@ impl TinyLfuEvictor {
         assert!(window > 0, "tinylfu window must be positive");
         self.window = window;
         self
+    }
+
+    /// Enables the W-TinyLFU admission window: the `front` most recently
+    /// inserted models per GPU are exempt from frequency eviction while
+    /// older residents exist (0 disables the window).
+    pub fn with_front(mut self, front: usize) -> Self {
+        self.front = front;
+        self
+    }
+
+    /// The configured admission-window size.
+    pub fn front(&self) -> usize {
+        self.front
     }
 
     /// The decayed frequency estimate for `model` (0 if never seen).
@@ -113,6 +144,7 @@ impl Evictor for TinyLfuEvictor {
 
     fn on_insert(&mut self, gpu: GpuId, model: ModelId) {
         self.lists.push_hot(gpu, model);
+        self.inserts.entry(gpu).or_default().push(model);
         self.record_access(model);
     }
 
@@ -125,19 +157,37 @@ impl Evictor for TinyLfuEvictor {
 
     fn on_remove(&mut self, gpu: GpuId, model: ModelId) {
         self.lists.remove(gpu, model);
+        if let Some(order) = self.inserts.get_mut(&gpu) {
+            if let Some(pos) = order.iter().position(|&m| m == model) {
+                order.remove(pos);
+            }
+        }
     }
 
     fn order(&self, gpu: GpuId) -> Vec<ModelId> {
         self.lists.order(gpu)
     }
 
-    fn pick_victim(&mut self, _gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+    fn pick_victim(&mut self, gpu: GpuId, candidates: &[ModelId]) -> Option<ModelId> {
+        // The admission window: the `front` most recently inserted models
+        // are protected from frequency eviction while any older resident
+        // remains a candidate.
+        let windowed: &[ModelId] = match self.inserts.get(&gpu) {
+            Some(order) if self.front > 0 => &order[order.len().saturating_sub(self.front)..],
+            _ => &[],
+        };
         // Lowest decayed frequency dies first; `min_by` keeps the first of
         // equal minima, i.e. the least recently used of the tied models.
-        candidates
+        let main_pick = candidates
             .iter()
             .copied()
-            .min_by(|a, b| self.frequency(*a).total_cmp(&self.frequency(*b)))
+            .filter(|m| !windowed.contains(m))
+            .min_by(|a, b| self.frequency(*a).total_cmp(&self.frequency(*b)));
+        main_pick.or_else(|| {
+            // Only window members remain: evict the oldest insertion
+            // among them (the window's own LRU order).
+            windowed.iter().copied().find(|m| candidates.contains(m))
+        })
     }
 }
 
@@ -214,6 +264,68 @@ mod tests {
         assert_eq!(e.frequency(A), 0.0);
         assert_eq!(e.frequency(B), 0.0);
         assert!(e.frequency(C) > 0.0);
+    }
+
+    #[test]
+    fn admission_window_protects_fresh_entrants() {
+        // Plain TinyLFU evicts the newest (lowest-frequency) model; with
+        // front=1 the most recent insertion is protected and the cold
+        // *older* resident dies instead.
+        let mut plain = CacheManager::with_evictor([G0], Box::new(TinyLfuEvictor::new(0.5)));
+        let mut windowed =
+            CacheManager::with_evictor([G0], Box::new(TinyLfuEvictor::new(0.5).with_front(1)));
+        for m in [&mut plain, &mut windowed] {
+            m.insert(G0, A);
+            for _ in 0..5 {
+                m.touch(G0, A); // A is hot
+            }
+            m.insert(G0, B); // B cold, older than C
+            m.insert(G0, C); // C is the fresh entrant
+        }
+        let plain_victims = plain.select_victims(G0, 100, 0, |_| 100, &[]).unwrap();
+        assert_eq!(plain_victims, vec![B], "lowest frequency, LRU tie-break");
+        // With the window, C (fresh) is shielded; B is still the pick —
+        // use a two-victim eviction to see the difference: plain kills
+        // B then C; windowed kills B then must spare C while A (older,
+        // hot) is a candidate? No: frequency still prefers... second
+        // victim candidates are {A, C}: plain picks C (freq 1 < A's 6);
+        // windowed shields C and sacrifices hot A.
+        let mut plain2 = CacheManager::with_evictor([G0], Box::new(TinyLfuEvictor::new(0.5)));
+        let mut windowed2 =
+            CacheManager::with_evictor([G0], Box::new(TinyLfuEvictor::new(0.5).with_front(1)));
+        for m in [&mut plain2, &mut windowed2] {
+            m.insert(G0, A);
+            for _ in 0..5 {
+                m.touch(G0, A);
+            }
+            m.insert(G0, B);
+            m.insert(G0, C);
+        }
+        assert_eq!(
+            plain2.select_victims(G0, 200, 0, |_| 100, &[]).unwrap(),
+            vec![B, C],
+            "plain TinyLFU churns the entrant straight out"
+        );
+        assert_eq!(
+            windowed2.select_victims(G0, 200, 0, |_| 100, &[]).unwrap(),
+            vec![B, A],
+            "the admission window lets the entrant build frequency"
+        );
+    }
+
+    #[test]
+    fn window_members_evict_in_insertion_order_when_alone() {
+        // All candidates inside the window: its own LRU (insertion) order
+        // decides, not frequency.
+        let mut e = TinyLfuEvictor::new(0.5).with_front(2);
+        e.attach_gpu(G0);
+        e.on_insert(G0, A);
+        e.on_insert(G0, B);
+        for _ in 0..4 {
+            e.on_hit(G0, A); // A hot but older in the window
+        }
+        assert_eq!(e.pick_victim(G0, &[A, B]), Some(A));
+        assert_eq!(e.front(), 2);
     }
 
     #[test]

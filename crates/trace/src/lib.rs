@@ -22,7 +22,9 @@
 #![warn(missing_docs)]
 
 pub mod azure;
+pub mod azure_real;
 pub mod trace;
 
 pub use azure::{interleaved_model_of, AzureTraceConfig};
+pub use azure_real::AzureFunctionsDataset;
 pub use trace::{Trace, TraceRequest, TraceStats};

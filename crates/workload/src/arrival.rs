@@ -368,6 +368,24 @@ mod tests {
     }
 
     #[test]
+    fn replay_accepts_real_azure_dataset_totals() {
+        // The ROADMAP's real-trace path: an Azure Functions per-minute
+        // CSV parses into totals that drive `Arrival::Replay` directly.
+        let csv = "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n\
+                   o1,a1,f1,http,5,0,2\n\
+                   o2,a2,f2,timer,1,3,0\n";
+        let ds =
+            gfaas_trace::AzureFunctionsDataset::read_csv(std::io::BufReader::new(csv.as_bytes()))
+                .unwrap();
+        let a = Arrival::Replay {
+            per_minute: ds.per_minute_totals(usize::MAX),
+        };
+        let t = trace_of(&a, ds.horizon_secs(), 11);
+        assert_eq!(t.minute_counts(), vec![6, 3, 2]);
+        assert!((a.mean_rate_per_min() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn same_seed_same_arrivals() {
         for a in [
             Arrival::Poisson { rate_per_min: 50.0 },
