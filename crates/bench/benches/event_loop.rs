@@ -1,0 +1,88 @@
+//! Event-loop throughput at trace scales beyond the paper testbed.
+//!
+//! The report binaries run at most ~4 × 10^4 requests per cell; the
+//! ROADMAP's target is 10^5–10^6-request traces. This bench drives the
+//! full `Cluster::run` event loop on `paper`-preset traces of exactly
+//! 10^5 and 10^6 requests, parameterised over scale × policy × batching,
+//! so `cargo bench --bench event_loop` tracks the hot path the
+//! indexed-queue refactor optimises. `bench_snapshot` persists the same
+//! measurements to `BENCH_*.json` for the committed perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfaas_bench::run_batched_on_trace;
+use gfaas_core::PolicySpec;
+use gfaas_trace::Trace;
+use gfaas_workload::scenario::find;
+use gfaas_workload::Scale;
+
+/// The two trace volumes the ROADMAP targets: 10^5 and 10^6 requests.
+const SCALES: [(&str, Scale); 2] = [
+    (
+        "1e5",
+        Scale {
+            name: "bench-1e5",
+            requests_per_min: 25_000,
+            minutes: 4,
+            working_set: 35,
+        },
+    ),
+    (
+        "1e6",
+        Scale {
+            name: "bench-1e6",
+            requests_per_min: 50_000,
+            minutes: 20,
+            working_set: 35,
+        },
+    ),
+];
+
+fn bench_trace(scale: &Scale) -> Trace {
+    find("paper")
+        .expect("paper scenario is registered")
+        .trace(scale, 11)
+}
+
+/// The scales to measure: the ROADMAP pair, or a single 10^3-request
+/// trace when `GFAAS_BENCH_SMOKE` is set (the CI mode — it proves the
+/// harness runs end to end without paying for a 10^6-request trace).
+fn scales() -> Vec<(&'static str, Scale)> {
+    if std::env::var_os("GFAAS_BENCH_SMOKE").is_some() {
+        return vec![(
+            "1e3",
+            Scale {
+                name: "bench-1e3",
+                requests_per_min: 1_000,
+                minutes: 1,
+                working_set: 35,
+            },
+        )];
+    }
+    SCALES.to_vec()
+}
+
+fn event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_loop");
+    // One full 10^6-request run per sample is already heavyweight; scale
+    // the measurement budget down accordingly.
+    group.sample_size(10);
+    let lru = PolicySpec::bare("lru");
+    for (label, scale) in &scales() {
+        let trace = bench_trace(scale);
+        for policy in ["lb", "lalbo3:25"] {
+            let policy: PolicySpec = policy.parse().expect("valid policy spec");
+            for batching in ["none", "coalesce"] {
+                let batching: PolicySpec = batching.parse().expect("valid batching spec");
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{policy}/{batching}"), label),
+                    &trace,
+                    |b, t| b.iter(|| run_batched_on_trace(&policy, &lru, &batching, None, t)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, event_loop);
+criterion_main!(benches);

@@ -28,12 +28,13 @@ use gfaas_workload::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios [--smoke] [--scale paper|production] [--seeds a,b,c]\n\
+        "usage: scenarios [--smoke] [--scale paper|production|hyperscale] [--seeds a,b,c]\n\
          \x20                [--policy spec[,spec...]] [--scenario name[,name...]]\n\
          \x20                [--replacement spec]\n\
          \x20                [--batching none|coalesce[:max=M,wait=S]|adaptive[:slo=T,max=M,wait=S]]\n\
          \x20                [--autoscale queue:min=M,max=N,up=U,down=D[,cadence=S]]\n\
-         \x20                [--azure-data invocations_per_function.csv]"
+         \x20                [--azure-data invocations_per_function.csv]\n\
+         \x20                [--threads N]"
     );
     std::process::exit(2);
 }
@@ -57,6 +58,7 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     let mut batching: Option<PolicySpec> = None;
     let mut autoscale: Option<AutoscaleSpec> = None;
     let mut azure_real: Option<gfaas_trace::AzureFunctionsDataset> = None;
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -65,11 +67,19 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
                 scale = match it.next().map(String::as_str) {
                     Some("paper") => Some(Scale::paper()),
                     Some("production") => Some(Scale::production()),
+                    Some("hyperscale") => Some(Scale::hyperscale()),
                     other => {
                         eprintln!("bad --scale {other:?}");
                         usage();
                     }
                 }
+            }
+            "--threads" => {
+                let Some(n) = it.next() else { usage() };
+                threads = Some(n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("bad --threads {n:?} (want a positive integer)");
+                    usage();
+                }));
             }
             "--seeds" => {
                 let Some(list) = it.next() else { usage() };
@@ -152,6 +162,9 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     }
     suite.autoscale = autoscale;
     suite.azure_real = azure_real;
+    if let Some(threads) = threads {
+        suite.threads = threads;
+    }
     if let Some(names) = scenarios {
         // `azure_real` is a known name exactly when a dataset was
         // supplied; the filter then also applies to it.

@@ -248,6 +248,12 @@ pub struct ScenarioSuite {
     pub azure_real: Option<AzureFunctionsDataset>,
     /// Trace realisations to average over.
     pub seeds: Vec<u64>,
+    /// Worker threads for the policy × scenario cells (the `--threads N`
+    /// CLI axis). Cells are pure functions of their inputs and are
+    /// written into pre-indexed slots, so the report is byte-identical
+    /// for every thread count; `1` (the default) runs in place without
+    /// spawning.
+    pub threads: usize,
 }
 
 /// One cell of the policy × scenario matrix.
@@ -287,6 +293,7 @@ impl ScenarioSuite {
             autoscale: None,
             azure_real: None,
             seeds,
+            threads: 1,
         }
     }
 
@@ -333,6 +340,11 @@ impl ScenarioSuite {
                 })
                 .collect()
         };
+        // `GFAAS_TIMING=1` prints a wall-clock decomposition (trace
+        // generation vs each policy cell) to stderr; stdout reports are
+        // unaffected.
+        let timing = std::env::var_os("GFAAS_TIMING").is_some();
+        let t0 = std::time::Instant::now();
         // Registry scenarios first, then — when a dataset is supplied —
         // the `azure_real` replay row on the same policy axis.
         let mut rows: Vec<(&'static str, Vec<Trace>, f64)> = self
@@ -355,8 +367,10 @@ impl ScenarioSuite {
                 .collect();
             rows.push(("azure_real", traces, ds.horizon_secs()));
         }
+        if timing {
+            eprintln!("[timing] trace generation: {:?}", t0.elapsed());
+        }
         let mut scenario_stats = Vec::with_capacity(rows.len());
-        let mut cells = Vec::with_capacity(rows.len() * self.policies.len());
         for (name, traces, horizon) in &rows {
             if let Some(first) = traces.first() {
                 // Horizon-aware: the registry knows each scenario's
@@ -365,27 +379,73 @@ impl ScenarioSuite {
                 // instead of being silently dropped.
                 scenario_stats.push((*name, first.stats_with_horizon(*horizon)));
             }
-            for (policy, policy_name) in self.policies.iter().zip(&policy_names) {
-                let runs: Vec<RunMetrics> = traces
-                    .iter()
-                    .map(|t| {
-                        run_batched_on_trace(
-                            policy,
-                            &self.replacement,
-                            &self.batching,
-                            self.autoscale.as_ref(),
-                            t,
-                        )
+        }
+        // Every cell is a pure function of (row, policy); compute them
+        // scenario-major into pre-indexed slots so the report is
+        // byte-identical no matter how many workers ran.
+        let jobs: Vec<(usize, usize)> = (0..rows.len())
+            .flat_map(|r| (0..self.policies.len()).map(move |p| (r, p)))
+            .collect();
+        let compute = |&(r, p): &(usize, usize)| -> SuiteCell {
+            let (name, traces, _) = &rows[r];
+            let policy = &self.policies[p];
+            let tc = std::time::Instant::now();
+            let runs: Vec<RunMetrics> = traces
+                .iter()
+                .map(|t| {
+                    run_batched_on_trace(
+                        policy,
+                        &self.replacement,
+                        &self.batching,
+                        self.autoscale.as_ref(),
+                        t,
+                    )
+                })
+                .collect();
+            if timing {
+                eprintln!("[timing] cell {name}/{policy}: {:?}", tc.elapsed());
+            }
+            SuiteCell {
+                scenario: name,
+                policy: policy.clone(),
+                policy_name: policy_names[p].clone(),
+                metrics: AveragedMetrics::from_runs(&runs),
+            }
+        };
+        let workers = self.threads.max(1).min(jobs.len().max(1));
+        let cells: Vec<SuiteCell> = if workers <= 1 {
+            jobs.iter().map(compute).collect()
+        } else {
+            let mut slots: Vec<Option<SuiteCell>> = vec![None; jobs.len()];
+            let compute = &compute;
+            let jobs = &jobs;
+            let done: Vec<Vec<(usize, SuiteCell)>> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        s.spawn(move |_| {
+                            jobs.iter()
+                                .enumerate()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|(j, job)| (j, compute(job)))
+                                .collect::<Vec<_>>()
+                        })
                     })
                     .collect();
-                cells.push(SuiteCell {
-                    scenario: name,
-                    policy: policy.clone(),
-                    policy_name: policy_name.clone(),
-                    metrics: AveragedMetrics::from_runs(&runs),
-                });
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("suite worker panicked"))
+                    .collect()
+            })
+            .expect("suite worker panicked");
+            for (j, cell) in done.into_iter().flatten() {
+                slots[j] = Some(cell);
             }
-        }
+            slots
+                .into_iter()
+                .map(|c| c.expect("every cell computed exactly once"))
+                .collect()
+        };
         SuiteReport {
             scenario_stats,
             cells,
@@ -521,6 +581,30 @@ mod tests {
             .scenario_stats
             .iter()
             .all(|(_, s)| s.total > 0 && s.minute_cv >= 0.0));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_single_thread_exactly() {
+        // The crossbeam fan-out must be invisible in the output: cells
+        // are compared field-for-field (bit-equal metrics), not
+        // approximately. Together with the debug_assert oracle inside
+        // `estimated_wait_fast` (incremental aggregate vs naive
+        // recompute, checked on every query in debug builds), this pins
+        // the refactor's two invariants — worker count never changes a
+        // byte, and the indexed state never drifts from the ground truth.
+        let single = ScenarioSuite::smoke();
+        let mut multi = ScenarioSuite::smoke();
+        multi.threads = 4;
+        let a = single.run();
+        let b = multi.run();
+        assert_eq!(a.scenario_stats, b.scenario_stats);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.policy, y.policy);
+            assert_eq!(x.policy_name, y.policy_name);
+            assert_eq!(x.metrics, y.metrics, "{}/{}", x.scenario, x.policy_name);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! (`"lru"`, `"tinylfu:0.9"`) resolve through
 //! [`crate::policy::PolicyRegistry`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use gfaas_gpu::{GpuId, ModelId};
 use gfaas_sim::rng::DetRng;
@@ -98,24 +98,38 @@ pub trait Evictor: std::fmt::Debug + Send {
 /// shares. Front = next victim, back = most recently inserted/used.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct OrderLists {
-    per_gpu: BTreeMap<GpuId, VecDeque<ModelId>>,
+    /// Indexed by `GpuId`; `None` until [`OrderLists::attach`] — a flat
+    /// array, since every hot-path caller holds a dense GPU id.
+    per_gpu: Vec<Option<VecDeque<ModelId>>>,
 }
 
 impl OrderLists {
     pub(crate) fn attach(&mut self, gpu: GpuId) {
-        self.per_gpu.entry(gpu).or_default();
+        let gi = gpu.0 as usize;
+        if gi >= self.per_gpu.len() {
+            self.per_gpu.resize(gi + 1, None);
+        }
+        self.per_gpu[gi].get_or_insert_with(VecDeque::new);
     }
 
     pub(crate) fn push_hot(&mut self, gpu: GpuId, model: ModelId) {
         self.per_gpu
-            .get_mut(&gpu)
+            .get_mut(gpu.0 as usize)
+            .and_then(Option::as_mut)
             .expect("unknown GPU")
             .push_back(model);
     }
 
     /// Moves `model` to the hot end (LRU touch).
     pub(crate) fn touch(&mut self, gpu: GpuId, model: ModelId) {
-        let order = self.per_gpu.get_mut(&gpu).expect("unknown GPU");
+        let order = self
+            .per_gpu
+            .get_mut(gpu.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unknown GPU");
+        if order.back() == Some(&model) {
+            return; // already hottest — the common case for coalesced hits
+        }
         if let Some(pos) = order.iter().position(|&m| m == model) {
             order.remove(pos);
             order.push_back(model);
@@ -123,7 +137,7 @@ impl OrderLists {
     }
 
     pub(crate) fn remove(&mut self, gpu: GpuId, model: ModelId) {
-        if let Some(order) = self.per_gpu.get_mut(&gpu) {
+        if let Some(Some(order)) = self.per_gpu.get_mut(gpu.0 as usize) {
             if let Some(pos) = order.iter().position(|&m| m == model) {
                 order.remove(pos);
             }
@@ -132,7 +146,8 @@ impl OrderLists {
 
     pub(crate) fn order(&self, gpu: GpuId) -> Vec<ModelId> {
         self.per_gpu
-            .get(&gpu)
+            .get(gpu.0 as usize)
+            .and_then(Option::as_ref)
             .map(|o| o.iter().copied().collect())
             .unwrap_or_default()
     }
@@ -258,7 +273,10 @@ impl Evictor for RandomEvictor {
 #[derive(Debug)]
 pub struct CacheManager {
     evictor: Box<dyn Evictor>,
-    residency: BTreeMap<ModelId, BTreeSet<GpuId>>,
+    /// The §VI residency index as a flat per-model array: replica lists
+    /// indexed by `ModelId`, each kept sorted by `GpuId` — O(1) to reach
+    /// a model's holders, O(replicas) to scan them.
+    residency: Vec<Vec<GpuId>>,
     evictions: u64,
 }
 
@@ -286,7 +304,7 @@ impl CacheManager {
         }
         CacheManager {
             evictor,
-            residency: BTreeMap::new(),
+            residency: Vec::new(),
             evictions: 0,
         }
     }
@@ -298,22 +316,25 @@ impl CacheManager {
 
     /// True iff `model` is resident on `gpu`.
     pub fn is_cached(&self, gpu: GpuId, model: ModelId) -> bool {
+        self.holders(model).contains(&gpu)
+    }
+
+    /// GPUs currently holding `model` (the §VI replica list), in id
+    /// order, as a borrowed slice — the allocation-free hot-path lookup.
+    pub fn holders(&self, model: ModelId) -> &[GpuId] {
         self.residency
-            .get(&model)
-            .is_some_and(|gpus| gpus.contains(&gpu))
+            .get(model.0 as usize)
+            .map_or(&[], |gpus| gpus.as_slice())
     }
 
     /// GPUs currently holding `model` (the §VI replica list), in id order.
     pub fn gpus_with(&self, model: ModelId) -> Vec<GpuId> {
-        self.residency
-            .get(&model)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        self.holders(model).to_vec()
     }
 
     /// Number of GPUs holding `model` (Fig 6's duplicates count).
     pub fn replica_count(&self, model: ModelId) -> usize {
-        self.residency.get(&model).map_or(0, |s| s.len())
+        self.holders(model).len()
     }
 
     /// True iff `model` is resident on at least one GPU.
@@ -336,7 +357,14 @@ impl CacheManager {
             "{model} already cached on {gpu}"
         );
         self.evictor.on_insert(gpu, model);
-        self.residency.entry(model).or_default().insert(gpu);
+        let mi = model.0 as usize;
+        if mi >= self.residency.len() {
+            self.residency.resize_with(mi + 1, Vec::new);
+        }
+        let gpus = &mut self.residency[mi];
+        if let Err(pos) = gpus.binary_search(&gpu) {
+            gpus.insert(pos, gpu);
+        }
     }
 
     /// Records a use of `model` on `gpu`. Under LRU this moves the model to
@@ -348,10 +376,9 @@ impl CacheManager {
     /// Removes `model` from `gpu`'s cache state (after its process died).
     pub fn remove(&mut self, gpu: GpuId, model: ModelId) {
         self.evictor.on_remove(gpu, model);
-        if let Some(gpus) = self.residency.get_mut(&model) {
-            gpus.remove(&gpu);
-            if gpus.is_empty() {
-                self.residency.remove(&model);
+        if let Some(gpus) = self.residency.get_mut(model.0 as usize) {
+            if let Ok(pos) = gpus.binary_search(&gpu) {
+                gpus.remove(pos);
             }
         }
     }
@@ -409,7 +436,7 @@ impl CacheManager {
 
     /// Total resident (gpu, model) pairs across the cluster.
     pub fn total_resident(&self) -> usize {
-        self.residency.values().map(|s| s.len()).sum()
+        self.residency.iter().map(|gpus| gpus.len()).sum()
     }
 }
 

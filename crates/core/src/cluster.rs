@@ -4,10 +4,13 @@
 //! This is the executable form of the paper's Fig 2/Fig 3 architecture.
 //! The driver owns the global queue, the per-GPU units (local queue +
 //! device), and the cache manager, and advances everything on virtual
-//! time. Two event kinds exist:
+//! time. Two kinds of occurrence drive it:
 //!
-//! * `Arrival` — a trace request enters the global queue; the scheduler
-//!   runs if any GPU is idle.
+//! * an *arrival* — a trace request enters the global queue; the scheduler
+//!   runs if any GPU is idle. Arrivals stream straight from the
+//!   time-sorted trace through a cursor, so the event heap only ever
+//!   holds runtime events and stays fleet-sized even on million-request
+//!   traces.
 //! * `GpuDone` — a GPU finished its in-flight phase. A completed *load*
 //!   rolls straight into the inference that triggered it; a completed
 //!   *inference* records metrics, frees the GPU, and re-runs the scheduler.
@@ -52,8 +55,6 @@ use crate::scheduler::{Dispatch, SchedulerPolicy};
 /// ignored when it fires.
 #[derive(Debug)]
 enum Event {
-    /// A request arrives at the Gateway/Scheduler.
-    Arrival(Request),
     /// The GPU finished its current phase (load or inference).
     GpuDone(GpuId, u64),
     /// The GPU process serving the in-flight request crashed (failure
@@ -101,9 +102,52 @@ pub struct Cluster {
     online_high: usize,
     /// Requests in the running trace; ticks stop once all have completed.
     pending_total: u64,
+    /// Recycled invocation vectors: every dispatch carries its requests in
+    /// a `Vec` (through [`InFlight`]/[`HoldSlot`]), and completed
+    /// invocations return theirs here instead of freeing, so the steady
+    /// state allocates nothing per dispatch. Bounded by the fleet size.
+    batch_pool: Vec<Vec<Request>>,
+    /// Online units that are idle right now, maintained at every
+    /// dispatch, completion, and scale transition. Together with the two
+    /// counters below it lets a scheduling pass on a saturated cluster
+    /// prove itself a no-op in O(1) instead of scanning the fleet — and
+    /// every arrival triggers a pass.
+    idle_online: usize,
+    /// Units with a forming batch parked in their hold slot.
+    holding_units: usize,
+    /// Units in the [`UnitState::Draining`] state.
+    draining_units: usize,
     /// Integrated GPU busy time (uploads + inference, including crashed
     /// work) — `RunMetrics::gpu_busy_seconds`.
     busy_secs: f64,
+    /// Per-unit incremental summary of the local queue (parallel to
+    /// `units`), maintained at every push/pop/remove so finish-time
+    /// estimates need not walk the queue. See [`LocalAgg`].
+    local_aggs: Vec<LocalAgg>,
+    /// Recycled buffer for the per-pass idle-GPU candidate list.
+    idle_scratch: Vec<GpuId>,
+}
+
+/// Incremental summary of one GPU's local queue, kept in lockstep with
+/// the queue by [`Cluster::agg_push`] / [`Cluster::agg_remove`] /
+/// [`Cluster::agg_rebuild`].
+///
+/// [`GpuUnit::estimated_wait`] charges queued work as order-independent
+/// sums over integer-tick durations — a per-request inference sum, or
+/// per-model coalesced group sums, plus one upload per distinct
+/// non-resident model — so the whole estimate folds into this constant
+/// -size state and stays *byte-identical* to the naive O(queue) walk
+/// (addition of ticks is commutative and associative; residency is still
+/// read at query time). [`Cluster::estimated_wait_fast`] consumes it and
+/// carries a debug-build assertion against the naive recompute.
+#[derive(Debug, Default, Clone)]
+struct LocalAgg {
+    /// Σ per-request inference time (on this unit's compute profile)
+    /// over the local queue — the per-request-dispatch charge.
+    infer_sum: SimDuration,
+    /// Distinct queued models: `(model, Σ batch items, request count)`,
+    /// in first-push order. Entries leave when their count hits zero.
+    groups: Vec<(ModelId, usize, usize)>,
 }
 
 impl Cluster {
@@ -206,7 +250,13 @@ impl Cluster {
             online_low: initial_online,
             online_high: initial_online,
             pending_total: 0,
+            batch_pool: Vec::new(),
+            idle_online: initial_online,
+            holding_units: 0,
+            draining_units: 0,
             busy_secs: 0.0,
+            local_aggs: vec![LocalAgg::default(); total_units],
+            idle_scratch: Vec::new(),
         })
     }
 
@@ -315,6 +365,113 @@ impl Cluster {
             .mul_f64(self.units[gi].device.spec().load_scale)
     }
 
+    // ------------------------------------------------------------------
+    // Local-queue aggregates (incremental finish-time estimators)
+    // ------------------------------------------------------------------
+
+    /// Accounts `r` joining `gi`'s local queue. Call alongside every
+    /// `local_queue` push.
+    fn agg_push(&mut self, gi: usize, r: &Request) {
+        let dur = self.infer_time_on(gi, r.model, r.batch);
+        let agg = &mut self.local_aggs[gi];
+        agg.infer_sum += dur;
+        match agg.groups.iter_mut().find(|g| g.0 == r.model) {
+            Some(g) => {
+                g.1 += r.batch;
+                g.2 += 1;
+            }
+            None => agg.groups.push((r.model, r.batch, 1)),
+        }
+    }
+
+    /// Accounts `r` leaving `gi`'s local queue (dispatch, coalescing
+    /// collection). The inference charge is recomputed from the same
+    /// immutable profile it was added from, so the subtraction is exact.
+    fn agg_remove(&mut self, gi: usize, r: &Request) {
+        let dur = self.infer_time_on(gi, r.model, r.batch);
+        let agg = &mut self.local_aggs[gi];
+        agg.infer_sum -= dur;
+        let pos = agg
+            .groups
+            .iter()
+            .position(|g| g.0 == r.model)
+            .expect("removed request was accounted");
+        let g = &mut agg.groups[pos];
+        g.1 -= r.batch;
+        g.2 -= 1;
+        if g.2 == 0 {
+            agg.groups.remove(pos);
+        }
+    }
+
+    /// Recomputes `gi`'s aggregate from its queue — the rare-path reset
+    /// after a crash rebuilds the local queue wholesale.
+    fn agg_rebuild(&mut self, gi: usize) {
+        self.local_aggs[gi] = LocalAgg::default();
+        let n = self.units[gi].local_queue.len();
+        for i in 0..n {
+            let r = self.units[gi].local_queue[i];
+            self.agg_push(gi, &r);
+        }
+    }
+
+    /// [`GpuUnit::estimated_wait`] evaluated from the incremental
+    /// aggregate in O(distinct queued models) instead of O(queue).
+    /// Byte-identical by construction (see [`LocalAgg`]); debug builds
+    /// assert equality against the naive walk on every call, which is
+    /// also the oracle the property tests lean on.
+    fn estimated_wait_fast(&self, gi: usize) -> SimDuration {
+        let coalesced = !self.batcher.is_passthrough();
+        let unit = &self.units[gi];
+        let mut wait = unit
+            .device
+            .busy_until()
+            .map(|t| t.duration_since(self.now))
+            .unwrap_or(SimDuration::ZERO);
+        if let Some(f) = &unit.in_flight {
+            if f.phase == Phase::Loading {
+                wait += self.infer_time_on(gi, f.model(), f.items());
+            }
+        }
+        if let Some(h) = &unit.holding {
+            wait += h.release_at.duration_since(self.now.min(h.release_at));
+            if !unit.device.has_model(h.model()) {
+                wait += self.load_time_on(gi, h.model());
+            }
+            wait += self.infer_time_on(gi, h.model(), h.items());
+        }
+        let agg = &self.local_aggs[gi];
+        if coalesced {
+            for &(m, items, _) in &agg.groups {
+                if !unit.device.has_model(m) {
+                    wait += self.load_time_on(gi, m);
+                }
+                wait += self.infer_time_on(gi, m, items);
+            }
+        } else {
+            for &(m, _, _) in &agg.groups {
+                if !unit.device.has_model(m) {
+                    wait += self.load_time_on(gi, m);
+                }
+            }
+            wait += agg.infer_sum;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let spec = unit.device.spec();
+            let (compute_scale, load_scale) = (spec.compute_scale, spec.load_scale);
+            let registry = &self.registry;
+            let naive = unit.estimated_wait(
+                self.now,
+                coalesced,
+                |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
+                |m| registry.load_time(m).mul_f64(load_scale),
+            );
+            debug_assert_eq!(wait, naive, "local-queue aggregate out of sync on GPU {gi}");
+        }
+        wait
+    }
+
     /// Requests a tenant currently occupies (in flight, held for a batch,
     /// or in local queues).
     fn tenant_load(&self, tenant: u16) -> usize {
@@ -346,40 +503,55 @@ impl Cluster {
         self.metrics.record_hot_replicas(SimTime::ZERO, 0);
         self.pending_total = trace.len() as u64;
 
-        let mut events: EventQueue<Event> = EventQueue::with_capacity(trace.len() * 2);
-        for (i, r) in trace.requests().iter().enumerate() {
-            events.schedule(
-                r.at,
-                Event::Arrival(
-                    Request::new(
-                        i as u64,
-                        r.function,
-                        ModelId(r.model),
-                        self.config.batch_size,
-                        r.at,
-                    )
-                    .with_tenant((r.function % self.config.num_tenants.max(1) as u32) as u16),
-                ),
-            );
-        }
+        // Arrivals stream from the trace cursor instead of being
+        // pre-scheduled, so the heap holds only runtime events (a handful
+        // per GPU) rather than the whole trace. At equal timestamps the
+        // arrival wins the tie-break — exactly the order pre-scheduled
+        // arrivals popped in, since their sequence numbers (0..N-1,
+        // assigned before any runtime event) sorted below everything else.
+        let mut events: EventQueue<Event> = EventQueue::with_capacity(self.units.len() * 2 + 8);
+        let arrivals = trace.requests();
+        let mut next_arrival = 0usize;
+        let num_tenants = self.config.num_tenants.max(1) as u32;
 
         if let Some(autoscaler) = &self.autoscaler {
             events.schedule(SimTime::ZERO + autoscaler.cadence(), Event::ScaleTick);
         }
 
-        while let Some((t, ev)) = events.pop() {
-            debug_assert!(t >= self.now, "event delivered out of order");
-            self.now = t;
-            match ev {
-                Event::Arrival(r) => {
-                    self.global_queue.push_back(r);
-                    self.metrics.observe_queue_len(self.global_queue.len());
-                    self.schedule_pass(&mut events);
+        loop {
+            let arrival_at = arrivals.get(next_arrival).map(|r| r.at);
+            let take_arrival = match (arrival_at, events.peek_time()) {
+                (Some(a), Some(h)) => a <= h,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let r = &arrivals[next_arrival];
+                debug_assert!(r.at >= self.now, "trace not sorted by arrival");
+                self.now = r.at;
+                let request = Request::new(
+                    next_arrival as u64,
+                    r.function,
+                    ModelId(r.model),
+                    self.config.batch_size,
+                    r.at,
+                )
+                .with_tenant((r.function % num_tenants) as u16);
+                next_arrival += 1;
+                self.global_queue.push_back(request);
+                self.metrics.observe_queue_len(self.global_queue.len());
+                self.schedule_pass(&mut events);
+            } else {
+                let (t, ev) = events.pop().expect("peeked event exists");
+                debug_assert!(t >= self.now, "event delivered out of order");
+                self.now = t;
+                match ev {
+                    Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
+                    Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
+                    Event::ScaleTick => self.on_scale_tick(&mut events),
+                    Event::BatchHold(g, seq) => self.on_batch_hold(g, seq, &mut events),
                 }
-                Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
-                Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
-                Event::ScaleTick => self.on_scale_tick(&mut events),
-                Event::BatchHold(g, seq) => self.on_batch_hold(g, seq, &mut events),
             }
         }
 
@@ -496,7 +668,13 @@ impl Cluster {
                 // hit frequency; a lead miss does not.
                 let hit_served = inflight.requests.len() - usize::from(!inflight.was_hit);
                 self.units[gi].hits += hit_served as u64;
+                let mut recycled = inflight.requests;
+                recycled.clear();
+                self.batch_pool.push(recycled);
                 self.units[gi].idle_since = self.now;
+                if self.units[gi].state == UnitState::Online {
+                    self.idle_online += 1;
+                }
                 self.report_status(g, "idle");
                 self.maybe_finish_drain(gi);
                 self.schedule_pass(events);
@@ -551,6 +729,9 @@ impl Cluster {
         self.cache.remove(g, model);
         self.on_residency_change(model);
         self.units[gi].idle_since = self.now;
+        if self.units[gi].state == UnitState::Online {
+            self.idle_online += 1;
+        }
         self.crashes += 1;
         self.report_status(g, "idle");
         // Retry: the crashed invocation's requests (the whole coalesced
@@ -567,6 +748,7 @@ impl Cluster {
             }
         }
         self.units[gi].local_queue = keep;
+        self.agg_rebuild(gi);
         for r in requeue.into_iter().rev() {
             self.global_queue.push_front(r);
         }
@@ -614,6 +796,8 @@ impl Cluster {
                 // a previous online interval) would skew Algorithm 1's
                 // idle ordering.
                 unit.hits = 0;
+                debug_assert!(unit.is_idle(), "offline units carry no work");
+                self.idle_online += 1;
                 provisioned.push(unit.id());
             }
         }
@@ -655,7 +839,11 @@ impl Cluster {
             (!u.is_idle(), u.idle_since, gi)
         });
         for &gi in victims.iter().take(allowed) {
+            if self.units[gi].is_idle() {
+                self.idle_online -= 1;
+            }
             self.units[gi].state = UnitState::Draining;
+            self.draining_units += 1;
             self.scale_downs += 1;
             self.maybe_finish_drain(gi);
         }
@@ -688,6 +876,7 @@ impl Cluster {
         let unit = &mut self.units[gi];
         unit.provisioned += self.now.duration_since(unit.online_since);
         unit.state = UnitState::Offline;
+        self.draining_units -= 1;
         self.report_status(g, "offline");
         self.report_lru(g);
     }
@@ -700,11 +889,21 @@ impl Cluster {
     /// `gi`: matching entries in its local queue, plus — for online GPUs
     /// — matching, tenant-unblocked entries in the global queue.
     fn coalescable(&self, gi: usize, model: ModelId) -> usize {
-        let local = self.units[gi]
-            .local_queue
+        // The aggregate's request count is exactly the filter count the
+        // naive scan produced.
+        let local = self.local_aggs[gi]
+            .groups
             .iter()
-            .filter(|r| r.model == model)
-            .count();
+            .find(|g| g.0 == model)
+            .map_or(0, |g| g.2);
+        debug_assert_eq!(
+            local,
+            self.units[gi]
+                .local_queue
+                .iter()
+                .filter(|r| r.model == model)
+                .count()
+        );
         let global = if self.units[gi].state == UnitState::Online {
             self.global_queue
                 .iter()
@@ -739,6 +938,7 @@ impl Cluster {
                     .local_queue
                     .remove(i)
                     .expect("index in bounds");
+                self.agg_remove(gi, &r);
                 out.push(r);
             } else {
                 i += 1;
@@ -804,8 +1004,16 @@ impl Cluster {
         hit: bool,
         events: &mut EventQueue<Event>,
     ) {
+        // Every dispatch path funnels through here on an idle unit, and
+        // every branch below leaves it busy (in flight or holding).
+        debug_assert!(self.units[gi].is_idle(), "dispatch on a busy GPU");
+        if self.units[gi].state == UnitState::Online {
+            self.idle_online -= 1;
+        }
+        let mut requests = self.batch_pool.pop().unwrap_or_default();
+        requests.push(lead);
         if self.batcher.is_passthrough() {
-            self.launch_batch(gi, vec![lead], hit, events);
+            self.launch_batch(gi, requests, hit, events);
             return;
         }
         let model = lead.model;
@@ -813,7 +1021,6 @@ impl Cluster {
         let view = self.batch_view(gi, model, hit, lead.arrival, available);
         let plan = self.batcher.plan(&view);
         let cap = plan.max_requests.max(1);
-        let mut requests = vec![lead];
         self.collect_same_model(gi, model, cap, &mut requests);
         // The driver's backstop on [`BatchPlan::hold`]'s contract: a solo
         // batch launches immediately no matter what the policy answered —
@@ -831,6 +1038,7 @@ impl Cluster {
                     release_at,
                     seq,
                 });
+                self.holding_units += 1;
                 self.report_status(g, "busy");
                 events.schedule(release_at, Event::BatchHold(g, seq));
                 return;
@@ -852,6 +1060,7 @@ impl Cluster {
         if slot.requests.len() >= cap {
             // Full: launch now; the pending BatchHold timer goes stale
             // (its token no longer matches a held slot).
+            self.holding_units -= 1;
             self.launch_batch(gi, slot.requests, slot.hit, events);
             true
         } else {
@@ -870,6 +1079,7 @@ impl Cluster {
             _ => return,
         }
         let mut slot = self.units[gi].holding.take().expect("slot checked above");
+        self.holding_units -= 1;
         self.collect_same_model(gi, slot.model(), slot.max_requests, &mut slot.requests);
         self.launch_batch(gi, slot.requests, slot.hit, events);
     }
@@ -941,10 +1151,36 @@ impl Cluster {
     fn schedule_pass(&mut self, events: &mut EventQueue<Event>) {
         let mut sched = self.sched.take().expect("scheduler in place");
         loop {
+            debug_assert_eq!(
+                self.idle_online,
+                self.units
+                    .iter()
+                    .filter(|u| u.state == UnitState::Online && u.is_idle())
+                    .count(),
+                "idle_online counter out of sync"
+            );
+            debug_assert_eq!(
+                self.holding_units,
+                self.units.iter().filter(|u| u.holding.is_some()).count(),
+                "holding_units counter out of sync"
+            );
+            debug_assert_eq!(
+                self.draining_units,
+                self.units
+                    .iter()
+                    .filter(|u| u.state == UnitState::Draining)
+                    .count(),
+                "draining_units counter out of sync"
+            );
+            // The saturated common case: nothing to top up, nothing to
+            // drain, nowhere to dispatch — the pass is provably a no-op.
+            if self.idle_online == 0 && self.holding_units == 0 && self.draining_units == 0 {
+                break;
+            }
             let mut progress = false;
             // Held batches vacuum up matching new arrivals and launch
             // early once full (no-op under per-request dispatch).
-            if !self.batcher.is_passthrough() {
+            if self.holding_units > 0 && !self.batcher.is_passthrough() {
                 for gi in 0..self.units.len() {
                     if self.units[gi].holding.is_some() && self.fill_hold(gi, events) {
                         progress = true;
@@ -953,28 +1189,37 @@ impl Cluster {
             }
             // Drain victims run down their local queues (always resident
             // hits) but receive no new work.
-            for gi in 0..self.units.len() {
-                if self.units[gi].state == UnitState::Draining && self.units[gi].is_idle() {
-                    if let Some(r) = self.units[gi].local_queue.pop_front() {
-                        debug_assert!(
-                            self.cache.is_cached(self.units[gi].id(), r.model),
-                            "local-queue request's model must be resident"
-                        );
-                        self.dispatch_batched(gi, r, true, events);
-                        progress = true;
+            if self.draining_units > 0 {
+                for gi in 0..self.units.len() {
+                    if self.units[gi].state == UnitState::Draining && self.units[gi].is_idle() {
+                        if let Some(r) = self.units[gi].local_queue.pop_front() {
+                            debug_assert!(
+                                self.cache.is_cached(self.units[gi].id(), r.model),
+                                "local-queue request's model must be resident"
+                            );
+                            self.agg_remove(gi, &r);
+                            self.dispatch_batched(gi, r, true, events);
+                            progress = true;
+                        }
                     }
                 }
             }
             // Online idle GPUs with work available to them, Algorithm 1's
-            // input.
-            let mut idle: Vec<GpuId> = self
-                .units
-                .iter()
-                .filter(|u| u.state == UnitState::Online && u.is_idle())
-                .filter(|u| !u.local_queue.is_empty() || !self.global_queue.is_empty())
-                .map(|u| u.id())
-                .collect();
+            // input. The candidate list lives in a recycled buffer — a
+            // pass runs on every arrival, so per-pass allocation is hot.
+            let mut idle = std::mem::take(&mut self.idle_scratch);
+            idle.clear();
+            if self.idle_online > 0 {
+                idle.extend(
+                    self.units
+                        .iter()
+                        .filter(|u| u.state == UnitState::Online && u.is_idle())
+                        .filter(|u| !u.local_queue.is_empty() || !self.global_queue.is_empty())
+                        .map(|u| u.id()),
+                );
+            }
             if idle.is_empty() {
+                self.idle_scratch = idle;
                 if progress {
                     continue;
                 }
@@ -986,7 +1231,7 @@ impl Cluster {
                 progress,
             };
             sched.idle_order(&ctx, &mut idle);
-            for g in idle {
+            for &g in &idle {
                 let gi = g.0 as usize;
                 if !ctx.cluster.units[gi].is_idle() {
                     continue; // became busy earlier in this iteration
@@ -997,6 +1242,7 @@ impl Cluster {
                         ctx.cluster.cache.is_cached(g, r.model),
                         "local-queue request's model must be resident"
                     );
+                    ctx.cluster.agg_remove(gi, &r);
                     ctx.cluster.dispatch_batched(gi, r, true, ctx.events);
                     ctx.progress = true;
                     continue;
@@ -1007,7 +1253,9 @@ impl Cluster {
                 let dispatch = sched.on_gpu_idle(g, &mut ctx);
                 ctx.apply(g, dispatch);
             }
-            if !ctx.progress {
+            let made_progress = ctx.progress;
+            self.idle_scratch = idle;
+            if !made_progress {
                 break;
             }
         }
@@ -1236,16 +1484,7 @@ impl SchedCtx<'_> {
     /// driver will actually spend — which makes waiting at a busy holder
     /// correctly cheaper than replicating the model.
     pub fn estimated_wait(&self, gpu: GpuId) -> SimDuration {
-        let gi = gpu.0 as usize;
-        let spec = self.cluster.units[gi].device.spec();
-        let (compute_scale, load_scale) = (spec.compute_scale, spec.load_scale);
-        let registry = &self.cluster.registry;
-        self.cluster.units[gi].estimated_wait(
-            self.cluster.now,
-            !self.cluster.batcher.is_passthrough(),
-            |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
-            |m| registry.load_time(m).mul_f64(load_scale),
-        )
+        self.cluster.estimated_wait_fast(gpu.0 as usize)
     }
 
     /// The wait a request for `model` would see before being *served* if
@@ -1287,9 +1526,13 @@ impl SchedCtx<'_> {
     /// models but must not attract new work, and its residents are about
     /// to be evicted anyway.
     pub fn holders(&self, model: ModelId) -> Vec<GpuId> {
-        let mut holders = self.cluster.cache.gpus_with(model);
-        holders.retain(|&g| self.cluster.units[g.0 as usize].state == UnitState::Online);
-        holders
+        self.cluster
+            .cache
+            .holders(model)
+            .iter()
+            .copied()
+            .filter(|&g| self.cluster.units[g.0 as usize].state == UnitState::Online)
+            .collect()
     }
 
     // --- config / time ------------------------------------------------
@@ -1323,7 +1566,9 @@ impl SchedCtx<'_> {
     /// wait-on-busy arm). Executes immediately so later finish-time
     /// estimates in the same pass include `r`.
     pub fn enqueue_local(&mut self, gpu: GpuId, r: Request) {
-        self.cluster.units[gpu.0 as usize].local_queue.push_back(r);
+        let gi = gpu.0 as usize;
+        self.cluster.agg_push(gi, &r);
+        self.cluster.units[gi].local_queue.push_back(r);
         self.cluster.local_moves += 1;
         self.progress = true;
     }

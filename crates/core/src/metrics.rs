@@ -8,8 +8,6 @@
 //! * Fig 6  — time-averaged number of GPUs holding the hottest model;
 //! * Fig 7  — latency variance (the O3 sensitivity study).
 
-use std::collections::BTreeMap;
-
 use gfaas_sim::stats::{Histogram, Ratio, TimeWeighted, Welford};
 use gfaas_sim::time::{SimDuration, SimTime};
 
@@ -23,10 +21,11 @@ pub struct MetricsCollector {
     duplicates: TimeWeighted,
     completed: u64,
     queue_peak: usize,
-    /// Completed GPU invocations keyed by effective batch (coalesced
+    /// Completed GPU invocations indexed by effective batch (coalesced
     /// requests per invocation); per-request dispatch puts everything in
-    /// bucket 1.
-    invocation_batches: BTreeMap<usize, u64>,
+    /// bucket 1. A flat array because this is bumped once per invocation
+    /// and batch sizes are small.
+    invocation_batches: Vec<u64>,
     batched_requests: u64,
 }
 
@@ -42,7 +41,7 @@ impl Default for MetricsCollector {
             duplicates: TimeWeighted::new(),
             completed: 0,
             queue_peak: 0,
-            invocation_batches: BTreeMap::new(),
+            invocation_batches: Vec::new(),
             batched_requests: 0,
         }
     }
@@ -84,7 +83,10 @@ impl MetricsCollector {
     /// Records a completed GPU invocation that served `requests` coalesced
     /// requests (1 for per-request dispatch).
     pub fn record_invocation(&mut self, requests: usize) {
-        *self.invocation_batches.entry(requests).or_insert(0) += 1;
+        if requests >= self.invocation_batches.len() {
+            self.invocation_batches.resize(requests + 1, 0);
+        }
+        self.invocation_batches[requests] += 1;
         if requests > 1 {
             self.batched_requests += requests as u64;
         }
@@ -100,14 +102,19 @@ impl MetricsCollector {
     /// time of the last request.
     pub fn finish(mut self, end: SimTime, sm_utilization: f64) -> RunMetrics {
         let misses = self.hits.misses();
-        let p50 = self.latency_hist.quantile(0.5).unwrap_or(0.0);
-        let p95 = self.latency_hist.quantile(0.95).unwrap_or(0.0);
-        let p99 = self.latency_hist.quantile(0.99).unwrap_or(0.0);
-        let invocations: u64 = self.invocation_batches.values().sum();
+        // One sort serves all three tail queries (`Histogram::quantiles`).
+        let ps = self.latency_hist.quantiles(&[0.5, 0.95, 0.99]);
+        let (p50, p95, p99) = (
+            ps[0].unwrap_or(0.0),
+            ps[1].unwrap_or(0.0),
+            ps[2].unwrap_or(0.0),
+        );
+        let invocations: u64 = self.invocation_batches.iter().sum();
         let coalesced: u64 = self
             .invocation_batches
             .iter()
-            .map(|(&b, &n)| b as u64 * n)
+            .enumerate()
+            .map(|(b, &n)| b as u64 * n)
             .sum();
         RunMetrics {
             p50_latency_secs: p50,
@@ -141,7 +148,12 @@ impl MetricsCollector {
                 coalesced as f64 / invocations as f64
             },
             batched_requests: self.batched_requests,
-            effective_batch_hist: self.invocation_batches.into_iter().collect(),
+            effective_batch_hist: self
+                .invocation_batches
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, n)| n > 0)
+                .collect(),
         }
     }
 }

@@ -7,8 +7,6 @@
 //! discrete-event driver and are validated, so scheduler bugs surface as
 //! [`GpuError`]s instead of silently corrupt metrics.
 
-use std::collections::BTreeMap;
-
 use gfaas_sim::time::{SimDuration, SimTime};
 
 use crate::memory::{MemoryPool, OomError};
@@ -157,7 +155,11 @@ pub struct GpuDevice {
     spec: GpuSpec,
     mem: MemoryPool,
     sm: SmTracker,
-    procs: BTreeMap<ModelId, GpuProcess>,
+    /// Resident processes, sorted by model id. Residency is bounded by
+    /// device memory (a handful of models), so a flat sorted array with
+    /// binary search beats a tree map on every hot lookup while keeping
+    /// the same stable iteration order.
+    procs: Vec<(ModelId, GpuProcess)>,
     state: DeviceState,
     next_pid: u64,
     loads_started: u64,
@@ -174,7 +176,7 @@ impl GpuDevice {
             spec,
             mem,
             sm: SmTracker::new(),
-            procs: BTreeMap::new(),
+            procs: Vec::new(),
             state: DeviceState::Idle,
             next_pid: 0,
             loads_started: 0,
@@ -211,9 +213,14 @@ impl GpuDevice {
         }
     }
 
+    /// Position of `model` in the sorted process array.
+    fn proc_idx(&self, model: ModelId) -> Result<usize, usize> {
+        self.procs.binary_search_by_key(&model, |&(m, _)| m)
+    }
+
     /// Models with a resident process, in stable (id) order.
     pub fn resident_models(&self) -> impl Iterator<Item = ModelId> + '_ {
-        self.procs.keys().copied()
+        self.procs.iter().map(|&(m, _)| m)
     }
 
     /// Number of resident models.
@@ -224,12 +231,12 @@ impl GpuDevice {
     /// True iff the model has a resident process (loading counts: the memory
     /// is already claimed and the cache manager treats it as present).
     pub fn has_model(&self, model: ModelId) -> bool {
-        self.procs.contains_key(&model)
+        self.proc_idx(model).is_ok()
     }
 
     /// The resident process for a model, if any.
     pub fn process(&self, model: ModelId) -> Option<&GpuProcess> {
-        self.procs.get(&model)
+        self.proc_idx(model).ok().map(|i| &self.procs[i].1)
     }
 
     /// Free device memory in bytes.
@@ -279,8 +286,11 @@ impl GpuDevice {
         let ready_at = t + load_time;
         let pid = ProcId(self.next_pid);
         self.next_pid += 1;
-        self.procs
-            .insert(model, GpuProcess::spawn(pid, model, alloc, t, ready_at));
+        let pos = self.proc_idx(model).unwrap_err();
+        self.procs.insert(
+            pos,
+            (model, GpuProcess::spawn(pid, model, alloc, t, ready_at)),
+        );
         self.state = DeviceState::Loading {
             model,
             until: ready_at,
@@ -310,8 +320,8 @@ impl GpuDevice {
                 if t < until {
                     return Err(GpuError::BadCompletion("load completion arrived early"));
                 }
-                let proc = self.procs.get_mut(&model).expect("loading proc exists");
-                proc.state = ProcState::Ready;
+                let i = self.proc_idx(model).expect("loading proc exists");
+                self.procs[i].1.state = ProcState::Ready;
                 self.state = DeviceState::Idle;
                 Ok(())
             }
@@ -331,10 +341,10 @@ impl GpuDevice {
         if !self.is_idle() {
             return Err(GpuError::Busy(self.state));
         }
-        let proc = self
-            .procs
-            .get_mut(&model)
-            .ok_or(GpuError::NotResident(model))?;
+        let i = self
+            .proc_idx(model)
+            .map_err(|_| GpuError::NotResident(model))?;
+        let proc = &mut self.procs[i].1;
         if !matches!(proc.state, ProcState::Ready) {
             return Err(GpuError::ProcessBusy(model));
         }
@@ -359,7 +369,8 @@ impl GpuDevice {
                     ));
                 }
                 self.sm.end(t);
-                let proc = self.procs.get_mut(&model).expect("running proc exists");
+                let i = self.proc_idx(model).expect("running proc exists");
+                let proc = &mut self.procs[i].1;
                 proc.state = ProcState::Ready;
                 proc.inferences += 1;
                 self.state = DeviceState::Idle;
@@ -375,11 +386,13 @@ impl GpuDevice {
     /// cannot be evicted through this path — the scheduler only dispatches
     /// misses to idle devices, so legal evictions always target ready procs.
     pub fn evict(&mut self, model: ModelId) -> Result<u64, GpuError> {
-        let proc = self.procs.get(&model).ok_or(GpuError::NotResident(model))?;
-        if !proc.is_ready() {
+        let i = self
+            .proc_idx(model)
+            .map_err(|_| GpuError::NotResident(model))?;
+        if !self.procs[i].1.is_ready() {
             return Err(GpuError::ProcessBusy(model));
         }
-        let proc = self.procs.remove(&model).expect("checked above");
+        let (_, proc) = self.procs.remove(i);
         let freed = self
             .mem
             .free_alloc(proc.alloc)
@@ -393,10 +406,10 @@ impl GpuDevice {
     /// drops to idle; an open SM interval is closed at `t`. Returns the
     /// freed bytes.
     pub fn force_kill(&mut self, t: SimTime, model: ModelId) -> Result<u64, GpuError> {
-        let proc = self
-            .procs
-            .remove(&model)
-            .ok_or(GpuError::NotResident(model))?;
+        let i = self
+            .proc_idx(model)
+            .map_err(|_| GpuError::NotResident(model))?;
+        let (_, proc) = self.procs.remove(i);
         match self.state {
             DeviceState::Loading { model: m, .. } if m == model => {
                 self.state = DeviceState::Idle;

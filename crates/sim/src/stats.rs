@@ -299,13 +299,46 @@ impl Histogram {
         if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-            self.sorted = true;
-        }
+        self.ensure_sorted();
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
+    }
+
+    /// Every requested quantile without a full sort: each rank is found
+    /// by linear-time selection (`select_nth_unstable`), which yields
+    /// exactly the element a sorted rank lookup would — the k-th order
+    /// statistic — so results are identical to [`Histogram::quantile`].
+    /// Entries are `None` exactly where the scalar API would answer
+    /// `None`. A handful of selections beats one O(n log n) sort for the
+    /// few tail queries a report needs.
+    pub fn quantiles(&mut self, qs: &[f64]) -> Vec<Option<f64>> {
+        if self.sorted {
+            return qs.iter().map(|&q| self.quantile(q)).collect();
+        }
+        qs.iter()
+            .map(|&q| {
+                if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+                    return None;
+                }
+                let rank =
+                    ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+                let (_, v, _) = self.samples.select_nth_unstable_by(rank - 1, |a, b| {
+                    a.partial_cmp(b).expect("samples are finite")
+                });
+                Some(*v)
+            })
+            .collect()
+    }
+
+    /// Sorts the sample buffer in place if a push disturbed the order.
+    /// `sort_unstable` is observationally identical to a stable sort
+    /// here: equal `f64` keys cannot be told apart by a rank lookup.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
     }
 
     /// Per-bin counts.
@@ -424,5 +457,25 @@ mod tests {
         let mut h = Histogram::new(1.0, 4);
         h.push(100.0);
         assert_eq!(h.bins(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles_batch_matches_singles() {
+        let mut h = Histogram::new(1.0, 10);
+        for x in [9.0, 2.0, 7.0, 2.0, 5.0, 8.0, 1.0] {
+            h.push(x);
+        }
+        let mut single = Histogram::new(1.0, 10);
+        for x in [9.0, 2.0, 7.0, 2.0, 5.0, 8.0, 1.0] {
+            single.push(x);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.95, 0.99, 1.0, 1.5];
+        let batch = h.quantiles(&qs);
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(batch[i], single.quantile(q), "q={q}");
+        }
+        // Out-of-range and empty behave like the scalar API.
+        assert_eq!(batch[6], None);
+        assert_eq!(Histogram::new(1.0, 4).quantiles(&[0.5]), vec![None]);
     }
 }

@@ -276,6 +276,35 @@ o1,a1,f,http,3,4
     }
 
     #[test]
+    fn committed_sample_dataset_parses_and_replays() {
+        // The sanitised per-minute sample shipped with the crate: 24
+        // functions x 60 minutes in the real dataset's column format.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/data/azure_functions_sample.csv"
+        );
+        let file = std::fs::File::open(path).expect("committed sample dataset");
+        let ds = AzureFunctionsDataset::read_csv(BufReader::new(file)).unwrap();
+        assert_eq!(ds.minutes, 60);
+        assert_eq!(ds.functions.len(), 24);
+        let total: u64 = ds.functions.iter().map(|f| f.total).sum();
+        assert_eq!(total, 3218, "sample volume is pinned");
+        assert!(
+            ds.functions.windows(2).all(|w| w[0].total >= w[1].total),
+            "functions rank by total"
+        );
+        let t = ds.trace(15, 22, 11);
+        assert!(t.is_sorted_by_arrival());
+        let top15: u64 = ds
+            .per_minute_totals(15)
+            .iter()
+            .map(|&c| c as u64)
+            .sum::<u64>();
+        assert_eq!(t.len() as u64, top15);
+        assert_eq!(t.requests(), ds.trace(15, 22, 11).requests());
+    }
+
+    #[test]
     fn malformed_inputs_name_the_line() {
         let cases: [(&str, &str); 5] = [
             ("", "missing header"),

@@ -82,15 +82,28 @@ impl Trace {
     }
 
     /// The most invoked model (ties broken toward the lower id), if any.
+    ///
+    /// Model ids are dense small integers, so this counts into a flat
+    /// array rather than a map — `Cluster::run` calls it once per cell
+    /// and the map version showed up in profiles at million-request
+    /// scales.
     pub fn hottest_model(&self) -> Option<u32> {
-        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut counts: Vec<usize> = Vec::new();
         for r in &self.requests {
-            *counts.entry(r.model).or_insert(0) += 1;
+            let m = r.model as usize;
+            if m >= counts.len() {
+                counts.resize(m + 1, 0);
+            }
+            counts[m] += 1;
         }
-        counts
-            .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .map(|(m, _)| m)
+        let mut best: Option<(u32, usize)> = None;
+        for (m, &n) in counts.iter().enumerate() {
+            // Strict `>` keeps the first (lowest-id) model on count ties.
+            if n > 0 && best.is_none_or(|(_, bn)| n > bn) {
+                best = Some((m as u32, n));
+            }
+        }
+        best.map(|(m, _)| m)
     }
 
     /// Per-minute request counts over the observed window, which ends at

@@ -53,6 +53,17 @@ impl Scale {
         }
     }
 
+    /// 100× the paper's volume on the paper horizon — the tier the
+    /// indexed hot path is sized for (~2 × 10^5 requests per trace).
+    pub const fn hyperscale() -> Scale {
+        Scale {
+            name: "hyperscale",
+            requests_per_min: 32_500,
+            minutes: 6,
+            working_set: 45,
+        }
+    }
+
     /// The shortest useful configuration: 60 req over one minute, for CI
     /// smoke runs.
     pub const fn smoke() -> Scale {
