@@ -4,6 +4,8 @@
 //! gfaas run [--policy SPEC] [--ws N] [--seed S] [--seeds a,b,c]
 //!           [--o3-limit N] [--gpus N] [--headroom MIB] [--burstiness F]
 //!           [--replacement SPEC] [--tenants N] [--tenant-cap N]
+//!           [--record SPEC] [--trace-out FILE] [--ledger-out FILE]
+//!           [--series-out FILE]
 //! gfaas profile            # regenerate Table I
 //! gfaas trace [--ws N] [--seed S] [--out FILE]   # emit a CSV workload
 //! gfaas sweep              # the full Fig 4 grid (policies x working sets)
@@ -13,6 +15,12 @@
 //! `lb`, `lalb`, `lalbo3[:limit]`; replacements `lru`, `fifo`, `random`,
 //! `tinylfu[:decay]` — anything `gfaas_core::PolicyRegistry::builtin()`
 //! knows.
+//!
+//! `--record` attaches the observability layer (see `gfaas_obs`):
+//! `ledger`, `perfetto`, `sample[=secs]`, `slo=secs`, `all`. A recorded
+//! run requires exactly one seed; `--trace-out` writes the Perfetto
+//! JSON, `--ledger-out` the per-request lifecycle CSV, and
+//! `--series-out` the sampled time-series CSV.
 
 use std::collections::HashMap;
 
@@ -30,6 +38,8 @@ fn usage() -> ! {
          \x20          --o3-limit N  --gpus N  --headroom MIB  --burstiness F\n\
          \x20          --replacement lru|fifo|random|tinylfu[:decay]\n\
          \x20          --tenants N  --tenant-cap N\n\
+         \x20          --record ledger|perfetto|sample[=secs]|slo=secs|all\n\
+         \x20          --trace-out FILE  --ledger-out FILE  --series-out FILE\n\
          trace flags: --ws N  --seed S  --out FILE"
     );
     std::process::exit(2);
@@ -116,6 +126,15 @@ fn print_metrics(name: &str, m: &RunMetrics) {
     println!("  hot duplicates    {:.3}", m.avg_duplicates);
     println!("  makespan          {:.1} s", m.makespan_secs);
     println!("  queue peak        {}", m.queue_peak);
+    println!("  queue avg         {:.3}", m.avg_queue_depth);
+}
+
+fn write_file(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {what} to {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {what} to {path}");
 }
 
 fn cmd_run(flags: HashMap<String, String>) {
@@ -137,6 +156,27 @@ fn cmd_run(flags: HashMap<String, String>) {
             .collect(),
         None => vec![get(&flags, "seed", 11u64)],
     };
+    let record: gfaas_core::RecordSpec = match flags.get("record") {
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage();
+        }),
+        None => gfaas_core::RecordSpec::default(),
+    };
+    for (flag, needs) in [
+        ("trace-out", "perfetto"),
+        ("ledger-out", "ledger"),
+        ("series-out", "sample"),
+    ] {
+        if flags.contains_key(flag) && record.is_off() {
+            eprintln!("--{flag} requires --record {needs}");
+            usage();
+        }
+    }
+    if !record.is_off() && seeds.len() > 1 {
+        eprintln!("--record needs exactly one seed (got {})", seeds.len());
+        usage();
+    }
     let mut runs = Vec::new();
     for &seed in &seeds {
         let mut tc = AzureTraceConfig::paper(ws, seed);
@@ -163,7 +203,37 @@ fn cmd_run(flags: HashMap<String, String>) {
             }));
         }
         cfg.replacement = replacement.clone();
-        let m = Cluster::new(cfg, ModelRegistry::table1()).run(&trace);
+        cfg.record = record;
+        let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
+        let m = cluster.run(&trace);
+        if let Some(json) = cluster.perfetto_json() {
+            if let Some(path) = flags.get("trace-out") {
+                write_file(path, &json, "Perfetto trace");
+            } else {
+                eprintln!(
+                    "note: perfetto trace recorded ({} bytes); pass --trace-out FILE to keep it",
+                    json.len()
+                );
+            }
+        }
+        if let Some(ledger) = cluster.ledger() {
+            if let Some(path) = flags.get("ledger-out") {
+                write_file(path, &ledger.to_csv(), "lifecycle ledger");
+            }
+            let seg = ledger.segment_summary();
+            println!(
+                "ledger: {} completed, {} SLO misses; mean segments (s): {}",
+                ledger.completed(),
+                ledger.slo_misses(),
+                seg
+            );
+        }
+        if let Some(series) = cluster.time_series() {
+            if let Some(path) = flags.get("series-out") {
+                write_file(path, &series.to_csv(), "time series");
+            }
+            println!("sampler: {} windows recorded", series.rows().len());
+        }
         runs.push(m);
     }
     if runs.len() == 1 {

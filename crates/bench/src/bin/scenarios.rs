@@ -22,8 +22,8 @@
 //! paper scale with default policies reproduce `fig4_comparison`'s WS 25
 //! numbers exactly (same traces, same seeds, same cluster).
 
-use gfaas_bench::{parse_cli_spec, ScenarioSuite, SpecKind, TablePrinter};
-use gfaas_core::{AutoscaleSpec, PolicySpec};
+use gfaas_bench::{parse_cli_spec, run_recorded_on_trace, ScenarioSuite, SpecKind, TablePrinter};
+use gfaas_core::{AutoscaleSpec, PolicySpec, RecordSpec};
 use gfaas_workload::Scale;
 
 fn usage() -> ! {
@@ -34,9 +34,22 @@ fn usage() -> ! {
          \x20                [--batching none|coalesce[:max=M,wait=S]|adaptive[:slo=T,max=M,wait=S]]\n\
          \x20                [--autoscale queue:min=M,max=N,up=U,down=D[,cadence=S]]\n\
          \x20                [--azure-data invocations_per_function.csv]\n\
-         \x20                [--threads N]"
+         \x20                [--threads N]\n\
+         \x20                [--record ledger|perfetto|sample[=secs]|slo=secs|all]\n\
+         \x20                [--trace-out FILE]\n\
+         --record re-runs the (single) configured cell with recorders attached\n\
+         after the matrix; it needs exactly one scenario, one policy, and one\n\
+         seed (and no --azure-data). --trace-out writes the Perfetto JSON."
     );
     std::process::exit(2);
+}
+
+/// Everything parsed off the command line: the sweep plus the optional
+/// recorded re-run of its single cell.
+struct Cli {
+    suite: ScenarioSuite,
+    record: Option<RecordSpec>,
+    trace_out: Option<String>,
 }
 
 fn cli_spec(s: &str, kind: SpecKind) -> PolicySpec {
@@ -46,7 +59,7 @@ fn cli_spec(s: &str, kind: SpecKind) -> PolicySpec {
     })
 }
 
-fn parse_suite(args: &[String]) -> ScenarioSuite {
+fn parse_suite(args: &[String]) -> Cli {
     // Collect flags first, then build, so flag order never matters
     // (`--seeds 5 --smoke` and `--smoke --seeds 5` both honour seed 5).
     let mut smoke = false;
@@ -59,6 +72,8 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
     let mut autoscale: Option<AutoscaleSpec> = None;
     let mut azure_real: Option<gfaas_trace::AzureFunctionsDataset> = None;
     let mut threads: Option<usize> = None;
+    let mut record: Option<RecordSpec> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -137,6 +152,17 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
                         });
                 azure_real = Some(ds);
             }
+            "--record" => {
+                let Some(spec) = it.next() else { usage() };
+                record = Some(spec.parse::<RecordSpec>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                }));
+            }
+            "--trace-out" => {
+                let Some(path) = it.next() else { usage() };
+                trace_out = Some(path.clone());
+            }
             _ => usage(),
         }
     }
@@ -185,12 +211,45 @@ fn parse_suite(args: &[String]) -> ScenarioSuite {
             suite.azure_real = None;
         }
     }
-    suite
+    if let Some(record) = &record {
+        if record.is_off() {
+            eprintln!("--record off records nothing; drop the flag instead");
+            usage();
+        }
+        if suite.scenarios.len() != 1
+            || suite.policies.len() != 1
+            || suite.seeds.len() != 1
+            || suite.azure_real.is_some()
+        {
+            eprintln!(
+                "--record needs exactly one cell: one --scenario, one --policy, one seed \
+                 (got {} scenario(s), {} policy(ies), {} seed(s){})",
+                suite.scenarios.len(),
+                suite.policies.len(),
+                suite.seeds.len(),
+                if suite.azure_real.is_some() {
+                    ", plus --azure-data"
+                } else {
+                    ""
+                }
+            );
+            usage();
+        }
+    } else if trace_out.is_some() {
+        eprintln!("--trace-out requires --record perfetto (or all)");
+        usage();
+    }
+    Cli {
+        suite,
+        record,
+        trace_out,
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let suite = parse_suite(&args);
+    let cli = parse_suite(&args);
+    let suite = cli.suite;
     let scale = suite.scale;
     println!(
         "Scenario suite — {} scale ({} req/min x {} min, WS {}), {} seed(s)\n",
@@ -260,6 +319,7 @@ fn main() {
     }
     let t = TablePrinter::new(&widths);
     println!("{}", t.header(&header));
+    let matrix_metrics = report.cells.first().map(|c| c.metrics.clone());
     let mut last = "";
     for cell in report.cells {
         if !last.is_empty() && last != cell.scenario {
@@ -294,5 +354,61 @@ fn main() {
 
     if suite.is_paper_default() {
         println!("\nNote: the `paper` rows reproduce fig4_comparison's WS 25 numbers exactly.");
+    }
+
+    // `--record`: re-run the single configured cell with recorders
+    // attached. The recorded metrics must match the matrix cell exactly —
+    // recording is observability, never perturbation — and the check runs
+    // on every invocation.
+    if let Some(record) = cli.record {
+        let scenario = &suite.scenarios[0];
+        let seed = suite.seeds[0];
+        let trace = scenario.trace(&suite.scale, seed);
+        let run = run_recorded_on_trace(
+            &suite.policies[0],
+            &suite.replacement,
+            &suite.batching,
+            suite.autoscale.as_ref(),
+            &record,
+            &trace,
+        );
+        println!(
+            "\nRecorded cell {}/{} seed {} (--record {record}):",
+            scenario.name, suite.policies[0], seed
+        );
+        let recorded_avg =
+            gfaas_bench::AveragedMetrics::from_runs(std::slice::from_ref(&run.metrics));
+        if let Some(expected) = matrix_metrics {
+            assert_eq!(
+                recorded_avg, expected,
+                "recorded run diverged from the unrecorded matrix cell"
+            );
+            println!("  metrics: byte-identical to the matrix cell above");
+        }
+        if let Some(ledger) = &run.ledger {
+            println!(
+                "  ledger:  {} completed, {} SLO misses; mean segments (s): {}",
+                ledger.completed(),
+                ledger.slo_misses(),
+                ledger.segment_summary()
+            );
+        }
+        if let Some(series) = &run.series {
+            println!("  sampler: {} windows", series.rows().len());
+        }
+        if let Some(json) = &run.perfetto_json {
+            println!("  perfetto: {} trace bytes", json.len());
+            if let Some(path) = &cli.trace_out {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("  wrote {path} (open in ui.perfetto.dev)");
+            }
+        } else if cli.trace_out.is_some() {
+            eprintln!("--trace-out given but --record did not include perfetto");
+            std::process::exit(2);
+        }
+        println!("  profile: {}", run.profile);
     }
 }

@@ -23,7 +23,11 @@
 //! [`PolicyRegistry`](gfaas_core::PolicyRegistry) — including evictors
 //! beyond the paper's LRU — can be swept without touching this crate.
 
-use gfaas_core::{AutoscaleSpec, Cluster, ClusterConfig, Policy, PolicySpec, RunMetrics};
+use gfaas_core::obs::ledger::Ledger;
+use gfaas_core::obs::sampler::TimeSeries;
+use gfaas_core::{
+    AutoscaleSpec, Cluster, ClusterConfig, Policy, PolicySpec, RecordSpec, RunMetrics, SelfProfile,
+};
 use gfaas_models::ModelRegistry;
 use gfaas_trace::{AzureFunctionsDataset, AzureTraceConfig, Trace, TraceStats};
 use gfaas_workload::scenario::NUM_MODELS;
@@ -101,12 +105,71 @@ pub fn run_batched_on_trace(
     autoscale: Option<&AutoscaleSpec>,
     trace: &Trace,
 ) -> RunMetrics {
+    run_profiled_on_trace(policy, replacement, batching, autoscale, trace).0
+}
+
+/// Like [`run_batched_on_trace`], additionally returning the event
+/// loop's [`SelfProfile`] (schedule passes, estimator calls, heap peak).
+/// The profile counters are always-on integer bumps, so the metrics are
+/// byte-identical to the plain entry points.
+pub fn run_profiled_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    batching: &PolicySpec,
+    autoscale: Option<&AutoscaleSpec>,
+    trace: &Trace,
+) -> (RunMetrics, SelfProfile) {
     let mut cfg = ClusterConfig::paper_testbed(policy.clone());
     cfg.replacement = replacement.clone();
     cfg.batching = batching.clone();
     cfg.autoscale = autoscale.cloned();
     let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
-    cluster.run(trace)
+    let metrics = cluster.run(trace);
+    let profile = cluster.self_profile();
+    (metrics, profile)
+}
+
+/// Everything one recorded run produces: the usual metrics plus whatever
+/// sinks the [`RecordSpec`] attached.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    /// The run's metrics — byte-identical to an unrecorded run on the
+    /// same trace and specs.
+    pub metrics: RunMetrics,
+    /// Per-request lifecycle ledger (`record.ledger`).
+    pub ledger: Option<Ledger>,
+    /// Perfetto/Chrome trace-event JSON (`record.perfetto`).
+    pub perfetto_json: Option<String>,
+    /// Sampled time series (`record.sample_secs`).
+    pub series: Option<TimeSeries>,
+    /// The event loop's self-profile.
+    pub profile: SelfProfile,
+}
+
+/// Runs one fully configured paper-testbed experiment with the given
+/// recorders attached, returning the metrics and every recorded sink.
+pub fn run_recorded_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    batching: &PolicySpec,
+    autoscale: Option<&AutoscaleSpec>,
+    record: &RecordSpec,
+    trace: &Trace,
+) -> RecordedRun {
+    let mut cfg = ClusterConfig::paper_testbed(policy.clone());
+    cfg.replacement = replacement.clone();
+    cfg.batching = batching.clone();
+    cfg.autoscale = autoscale.cloned();
+    cfg.record = *record;
+    let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
+    let metrics = cluster.run(trace);
+    RecordedRun {
+        metrics,
+        ledger: cluster.ledger(),
+        perfetto_json: cluster.perfetto_json(),
+        series: cluster.time_series(),
+        profile: cluster.self_profile(),
+    }
 }
 
 /// Averages metrics across `seeds` trace realisations (reduces the
@@ -341,8 +404,10 @@ impl ScenarioSuite {
                 .collect()
         };
         // `GFAAS_TIMING=1` prints a wall-clock decomposition (trace
-        // generation vs each policy cell) to stderr; stdout reports are
-        // unaffected.
+        // generation vs each policy cell) plus each cell's structured
+        // event-loop self-profile ([`SelfProfile`]: schedule passes,
+        // estimator calls, heap peak, merged across seeds) to stderr;
+        // stdout reports are unaffected.
         let timing = std::env::var_os("GFAAS_TIMING").is_some();
         let t0 = std::time::Instant::now();
         // Registry scenarios first, then — when a dataset is supplied —
@@ -390,20 +455,24 @@ impl ScenarioSuite {
             let (name, traces, _) = &rows[r];
             let policy = &self.policies[p];
             let tc = std::time::Instant::now();
+            let mut profile = SelfProfile::default();
             let runs: Vec<RunMetrics> = traces
                 .iter()
                 .map(|t| {
-                    run_batched_on_trace(
+                    let (m, p) = run_profiled_on_trace(
                         policy,
                         &self.replacement,
                         &self.batching,
                         self.autoscale.as_ref(),
                         t,
-                    )
+                    );
+                    profile.merge(&p);
+                    m
                 })
                 .collect();
             if timing {
                 eprintln!("[timing] cell {name}/{policy}: {:?}", tc.elapsed());
+                eprintln!("[profile] cell {name}/{policy}: {profile}");
             }
             SuiteCell {
                 scenario: name,

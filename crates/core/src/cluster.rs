@@ -28,12 +28,17 @@
 //!   wait-on-busy arms live in the policy impls
 //!   (see [`crate::scheduler`]).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use gfaas_faas::Datastore;
 use gfaas_gpu::{GpuDevice, GpuId, ModelId};
 use gfaas_models::ModelRegistry;
+use gfaas_obs::ledger::{Ledger, LedgerHandle, LedgerRecorder};
+use gfaas_obs::perfetto::{PerfettoHandle, PerfettoRecorder};
+use gfaas_obs::sampler::{SamplerRecorder, SeriesHandle, TimeSeries};
+use gfaas_obs::{Arm, GpuSample, MultiRecorder, ObsEvent, Recorder, SampleView, SelfProfile};
 use gfaas_sim::event::EventQueue;
 use gfaas_sim::time::{SimDuration, SimTime};
 use gfaas_trace::Trace;
@@ -68,6 +73,11 @@ enum Event {
     /// token so a stale timer (the batch filled and launched early) is
     /// ignored.
     BatchHold(GpuId, u64),
+    /// The telemetry sampler's cadence fired: snapshot the cluster for
+    /// the attached [`Recorder`] and re-arm (while requests remain).
+    /// Only ever scheduled when a recorder with a cadence is attached,
+    /// so unrecorded runs see an unchanged event stream.
+    ObsTick,
 }
 
 /// The GPU-enabled FaaS cluster.
@@ -126,6 +136,32 @@ pub struct Cluster {
     local_aggs: Vec<LocalAgg>,
     /// Recycled buffer for the per-pass idle-GPU candidate list.
     idle_scratch: Vec<GpuId>,
+    /// Attached event recorder (see [`gfaas_obs`]). `None` — the default —
+    /// is verifiably zero-cost: hot paths gate on `is_some()` before even
+    /// constructing an [`ObsEvent`], and no [`Event::ObsTick`] is ever
+    /// scheduled, so the event stream and metrics are byte-identical to a
+    /// build without the hooks.
+    recorder: Option<Box<dyn Recorder>>,
+    /// Handle to the lifecycle ledger, when `config.record.ledger` is set.
+    obs_ledger: Option<LedgerHandle>,
+    /// Handle to the Perfetto trace builder, when `config.record.perfetto`
+    /// is set.
+    obs_perfetto: Option<PerfettoHandle>,
+    /// Handle to the time-series sampler, when `config.record.sample_secs`
+    /// is set.
+    obs_series: Option<SeriesHandle>,
+    /// Sampling cadence requested by the recorder (min over children).
+    obs_cadence: Option<SimDuration>,
+    /// SLO threshold for `ObsEvent::SloMiss` emission.
+    obs_slo: Option<SimDuration>,
+    /// Self-profiler counters for the event loop (always-on: plain
+    /// integer bumps, no allocation). See [`SelfProfile`].
+    profile: SelfProfile,
+    /// Estimator-call count lives in a `Cell` because
+    /// [`Cluster::estimated_wait_fast`] is called through `&self`.
+    estimator_calls: Cell<u64>,
+    /// Recycled per-GPU sample buffer for [`ObsEvent::Sample`].
+    obs_scratch: Vec<GpuSample>,
 }
 
 /// Incremental summary of one GPU's local queue, kept in lockstep with
@@ -227,6 +263,30 @@ impl Cluster {
             .collect();
         let cache = CacheManager::with_evictor(units.iter().map(|u| u.id()), evictor);
         let rng = gfaas_sim::rng::DetRng::new(config.seed ^ 0xc4a5);
+        // Build the recorder stack from the config's record spec. Off by
+        // default: `recorder` stays `None` and every hook is a dead branch.
+        let obs_slo = config.record.slo_secs.map(SimDuration::from_secs_f64);
+        let mut multi = MultiRecorder::default();
+        let mut obs_ledger = None;
+        let mut obs_perfetto = None;
+        let mut obs_series = None;
+        if config.record.ledger {
+            let (rec, handle) = LedgerRecorder::new(obs_slo);
+            multi.push(Box::new(rec));
+            obs_ledger = Some(handle);
+        }
+        if config.record.perfetto {
+            let (rec, handle) = PerfettoRecorder::new();
+            multi.push(Box::new(rec));
+            obs_perfetto = Some(handle);
+        }
+        if let Some(secs) = config.record.sample_secs {
+            let (rec, handle) = SamplerRecorder::new(SimDuration::from_secs_f64(secs));
+            multi.push(Box::new(rec));
+            obs_series = Some(handle);
+        }
+        let recorder = multi.into_recorder();
+        let obs_cadence = recorder.as_ref().and_then(|r| r.sample_cadence());
         Ok(Cluster {
             config,
             registry,
@@ -257,7 +317,66 @@ impl Cluster {
             busy_secs: 0.0,
             local_aggs: vec![LocalAgg::default(); total_units],
             idle_scratch: Vec::new(),
+            recorder,
+            obs_ledger,
+            obs_perfetto,
+            obs_series,
+            obs_cadence,
+            obs_slo,
+            profile: SelfProfile::default(),
+            estimator_calls: Cell::new(0),
+            obs_scratch: Vec::new(),
         })
+    }
+
+    /// Attaches an externally constructed [`Recorder`], replacing any
+    /// recorder built from `config.record`. The open path for custom
+    /// sinks; the built-in handle accessors ([`Cluster::ledger`] etc.)
+    /// return `None` afterwards.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.obs_cadence = recorder.sample_cadence();
+        self.recorder = Some(recorder);
+        self.obs_ledger = None;
+        self.obs_perfetto = None;
+        self.obs_series = None;
+    }
+
+    /// Snapshot of the lifecycle ledger, if `config.record.ledger` was
+    /// set. Meaningful after [`Cluster::run`] returns.
+    pub fn ledger(&self) -> Option<Ledger> {
+        self.obs_ledger.as_ref().map(|h| h.snapshot())
+    }
+
+    /// The recorded Perfetto/Chrome trace-event JSON, if
+    /// `config.record.perfetto` was set. Meaningful after
+    /// [`Cluster::run`] returns; loads in `ui.perfetto.dev`.
+    pub fn perfetto_json(&self) -> Option<String> {
+        self.obs_perfetto.as_ref().map(|h| h.to_json())
+    }
+
+    /// Snapshot of the sampled time series, if `config.record.sample_secs`
+    /// was set. Meaningful after [`Cluster::run`] returns.
+    pub fn time_series(&self) -> Option<TimeSeries> {
+        self.obs_series.as_ref().map(|h| h.snapshot())
+    }
+
+    /// The event-loop self-profile gathered over [`Cluster::run`] —
+    /// schedule passes, estimator calls, heap peak, and friends. Always
+    /// collected (plain counter bumps); independent of `config.record`.
+    pub fn self_profile(&self) -> SelfProfile {
+        let mut p = self.profile.clone();
+        p.estimator_calls = self.estimator_calls.get();
+        p
+    }
+
+    /// Forwards `ev` to the attached recorder, if any. Hot paths
+    /// additionally gate on `self.recorder.is_some()` before constructing
+    /// the event so the disabled path costs one predictable branch.
+    #[inline]
+    fn emit(&mut self, ev: ObsEvent<'_>) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(self.now, &ev);
+        }
     }
 
     /// Attaches a datastore; the cluster then mirrors GPU status, LRU
@@ -421,6 +540,7 @@ impl Cluster {
     /// assert equality against the naive walk on every call, which is
     /// also the oracle the property tests lean on.
     fn estimated_wait_fast(&self, gi: usize) -> SimDuration {
+        self.estimator_calls.set(self.estimator_calls.get() + 1);
         let coalesced = !self.batcher.is_passthrough();
         let unit = &self.units[gi];
         let mut wait = unit
@@ -501,6 +621,7 @@ impl Cluster {
             self.hot_model = trace.hottest_model().map(ModelId);
         }
         self.metrics.record_hot_replicas(SimTime::ZERO, 0);
+        self.metrics.observe_queue_depth(SimTime::ZERO, 0);
         self.pending_total = trace.len() as u64;
 
         // Arrivals stream from the trace cursor instead of being
@@ -516,6 +637,23 @@ impl Cluster {
 
         if let Some(autoscaler) = &self.autoscaler {
             events.schedule(SimTime::ZERO + autoscaler.cadence(), Event::ScaleTick);
+        }
+        if self.recorder.is_some() {
+            let online = self.online_gpus();
+            let total = self.units.len();
+            self.emit(ObsEvent::RunStart {
+                online_gpus: online,
+                total_gpus: total,
+            });
+            for gi in 0..self.units.len() {
+                if matches!(self.units[gi].state, UnitState::Online) {
+                    let g = self.units[gi].id();
+                    self.emit(ObsEvent::UnitIdle { gpu: g });
+                }
+            }
+            if let Some(cadence) = self.obs_cadence {
+                events.schedule(SimTime::ZERO + cadence, Event::ObsTick);
+            }
         }
 
         loop {
@@ -539,18 +677,32 @@ impl Cluster {
                 )
                 .with_tenant((r.function % num_tenants) as u16);
                 next_arrival += 1;
+                self.profile.arrivals += 1;
+                let req_id = request.id;
+                let req_model = request.model;
                 self.global_queue.push_back(request);
-                self.metrics.observe_queue_len(self.global_queue.len());
+                let qlen = self.global_queue.len();
+                self.metrics.observe_queue_depth(self.now, qlen);
+                if self.recorder.is_some() {
+                    self.emit(ObsEvent::Arrival {
+                        req: req_id,
+                        model: req_model,
+                        queue_len: qlen,
+                    });
+                }
                 self.schedule_pass(&mut events);
             } else {
                 let (t, ev) = events.pop().expect("peeked event exists");
                 debug_assert!(t >= self.now, "event delivered out of order");
+                self.profile.events_popped += 1;
+                self.profile.heap_peak = self.profile.heap_peak.max(events.len() + 1);
                 self.now = t;
                 match ev {
                     Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
                     Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
                     Event::ScaleTick => self.on_scale_tick(&mut events),
                     Event::BatchHold(g, seq) => self.on_batch_hold(g, seq, &mut events),
+                    Event::ObsTick => self.on_obs_tick(&mut events),
                 }
             }
         }
@@ -562,6 +714,17 @@ impl Cluster {
                 .all(|u| u.is_idle() && u.local_queue.is_empty()),
             "GPUs left busy after the event queue drained"
         );
+
+        if self.recorder.is_some() {
+            // Flush the final partial sampling window, then let sinks
+            // close any open trace slices at the loop's last timestamp
+            // (`self.now`, which is >= every emitted event's time).
+            self.emit_sample();
+            let now = self.now;
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.finish(now);
+            }
+        }
 
         let end = self.last_completion;
         let gpu_seconds: f64 = self
@@ -602,6 +765,61 @@ impl Cluster {
     // Event handling
     // ------------------------------------------------------------------
 
+    /// The telemetry cadence fired: snapshot the fleet for the recorder
+    /// and re-arm while the run is still in progress.
+    fn on_obs_tick(&mut self, events: &mut EventQueue<Event>) {
+        self.emit_sample();
+        if let Some(cadence) = self.obs_cadence {
+            if self.metrics.completed() < self.pending_total {
+                events.schedule(self.now + cadence, Event::ObsTick);
+            }
+        }
+    }
+
+    /// Emits one [`ObsEvent::Sample`] snapshot of the whole fleet to the
+    /// recorder. Only called while recording.
+    fn emit_sample(&mut self) {
+        let mut gpus = std::mem::take(&mut self.obs_scratch);
+        gpus.clear();
+        let mut busy = 0usize;
+        let mut online = 0usize;
+        for u in &self.units {
+            let is_online = matches!(u.state, UnitState::Online);
+            let is_draining = matches!(u.state, UnitState::Draining);
+            if matches!(u.state, UnitState::Offline) {
+                continue;
+            }
+            let is_busy = u.in_flight.is_some();
+            if is_online {
+                online += 1;
+            }
+            if is_busy {
+                busy += 1;
+            }
+            gpus.push(GpuSample {
+                gpu: u.id(),
+                online: is_online,
+                draining: is_draining,
+                busy: is_busy,
+                resident: u.device.resident_models().count(),
+                local_depth: u.local_queue.len(),
+            });
+        }
+        let view = SampleView {
+            queue_len: self.global_queue.len(),
+            online,
+            busy,
+            draining: self.draining_units,
+            holding: self.holding_units,
+            gpus: &gpus,
+        };
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(self.now, &ObsEvent::Sample { view });
+        }
+        gpus.clear();
+        self.obs_scratch = gpus;
+    }
+
     fn on_gpu_done(&mut self, g: GpuId, seq: u64, events: &mut EventQueue<Event>) {
         let gi = g.0 as usize;
         let phase = match &self.units[gi].in_flight {
@@ -626,6 +844,9 @@ impl Cluster {
                 if !self.batcher.is_passthrough() {
                     self.topup_loaded_batch(gi);
                 }
+                if self.recorder.is_some() {
+                    self.emit(ObsEvent::LoadComplete { gpu: g, model });
+                }
                 // A coalesced invocation runs the whole batch's inputs in
                 // one pass of the affine latency model.
                 let items = self.units[gi]
@@ -645,6 +866,17 @@ impl Cluster {
                     f.started = self.now;
                     f.phase = Phase::Running;
                 }
+                if self.recorder.is_some() {
+                    let f = self.units[gi].in_flight.as_ref().expect("work in flight");
+                    let (batch, requests, items) = (f.seq, f.requests.len(), f.items());
+                    self.emit(ObsEvent::InferStart {
+                        gpu: g,
+                        model,
+                        batch,
+                        requests,
+                        items,
+                    });
+                }
                 self.schedule_inference_outcome(gi, done, dur, events);
             }
             Phase::Running => {
@@ -656,12 +888,39 @@ impl Cluster {
                 self.busy_secs += self.now.duration_since(inflight.started).as_secs_f64();
                 // Per-request completion accounting: every coalesced
                 // request ends now, each against its own arrival.
+                let (b_model, b_seq) = (inflight.model(), inflight.seq);
                 for r in &inflight.requests {
                     let latency = self.now.duration_since(r.arrival);
                     self.metrics.record_completion(latency);
                     self.report_latency(r, latency);
+                    if self.recorder.is_some() {
+                        self.emit(ObsEvent::Completion {
+                            req: r.id,
+                            gpu: g,
+                            batch: b_seq,
+                            model: b_model,
+                            latency,
+                        });
+                        if let Some(slo) = self.obs_slo {
+                            if latency > slo {
+                                self.emit(ObsEvent::SloMiss {
+                                    req: r.id,
+                                    latency,
+                                    slo,
+                                });
+                            }
+                        }
+                    }
                 }
                 self.metrics.record_invocation(inflight.requests.len());
+                if self.recorder.is_some() {
+                    let requests = inflight.requests.len();
+                    self.emit(ObsEvent::InvocationDone {
+                        gpu: g,
+                        batch: b_seq,
+                        requests,
+                    });
+                }
                 self.last_completion = self.last_completion.max(self.now);
                 // Riding requests always served via residency (the lead's
                 // load or cache hit), so they count toward Algorithm 1's
@@ -674,6 +933,9 @@ impl Cluster {
                 self.units[gi].idle_since = self.now;
                 if self.units[gi].state == UnitState::Online {
                     self.idle_online += 1;
+                    if self.recorder.is_some() {
+                        self.emit(ObsEvent::UnitIdle { gpu: g });
+                    }
                 }
                 self.report_status(g, "idle");
                 self.maybe_finish_drain(gi);
@@ -728,9 +990,20 @@ impl Cluster {
         self.busy_secs += self.now.duration_since(inflight.started).as_secs_f64();
         self.cache.remove(g, model);
         self.on_residency_change(model);
+        if self.recorder.is_some() {
+            let requeued = inflight.requests.len();
+            self.emit(ObsEvent::Crash {
+                gpu: g,
+                model,
+                requeued,
+            });
+        }
         self.units[gi].idle_since = self.now;
         if self.units[gi].state == UnitState::Online {
             self.idle_online += 1;
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::UnitIdle { gpu: g });
+            }
         }
         self.crashes += 1;
         self.report_status(g, "idle");
@@ -750,7 +1023,16 @@ impl Cluster {
         self.units[gi].local_queue = keep;
         self.agg_rebuild(gi);
         for r in requeue.into_iter().rev() {
+            let id = r.id;
             self.global_queue.push_front(r);
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::Requeued { req: id });
+            }
+        }
+        let qlen = self.global_queue.len();
+        self.metrics.observe_queue_depth(self.now, qlen);
+        if self.recorder.is_some() {
+            self.emit(ObsEvent::QueueDepth { len: qlen });
         }
         self.maybe_finish_drain(gi);
         self.schedule_pass(events);
@@ -808,6 +1090,10 @@ impl Cluster {
         self.online_high = self.online_high.max(self.online_gpus());
         for g in provisioned {
             self.report_status(g, "idle");
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::ScaleUp { gpu: g });
+                self.emit(ObsEvent::UnitIdle { gpu: g });
+            }
         }
         self.schedule_pass(events);
     }
@@ -845,6 +1131,10 @@ impl Cluster {
             self.units[gi].state = UnitState::Draining;
             self.draining_units += 1;
             self.scale_downs += 1;
+            if self.recorder.is_some() {
+                let g = self.units[gi].id();
+                self.emit(ObsEvent::DrainStart { gpu: g });
+            }
             self.maybe_finish_drain(gi);
         }
         self.online_low = self.online_low.min(self.online_gpus());
@@ -872,11 +1162,17 @@ impl Cluster {
                 .expect("drained GPU's residents are ready processes");
             self.cache.remove(g, model);
             self.on_residency_change(model);
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::Eviction { gpu: g, model });
+            }
         }
         let unit = &mut self.units[gi];
         unit.provisioned += self.now.duration_since(unit.online_since);
         unit.state = UnitState::Offline;
         self.draining_units -= 1;
+        if self.recorder.is_some() {
+            self.emit(ObsEvent::Offline { gpu: g });
+        }
         self.report_status(g, "offline");
         self.report_lru(g);
     }
@@ -931,6 +1227,7 @@ impl Cluster {
         cap: usize,
         out: &mut Vec<Request>,
     ) {
+        let g = self.units[gi].id();
         let mut i = 0;
         while out.len() < cap && i < self.units[gi].local_queue.len() {
             if self.units[gi].local_queue[i].model == model {
@@ -939,6 +1236,10 @@ impl Cluster {
                     .remove(i)
                     .expect("index in bounds");
                 self.agg_remove(gi, &r);
+                if self.recorder.is_some() {
+                    let id = r.id;
+                    self.emit(ObsEvent::Join { req: id, gpu: g });
+                }
                 out.push(r);
             } else {
                 i += 1;
@@ -947,6 +1248,7 @@ impl Cluster {
         if self.units[gi].state != UnitState::Online {
             return;
         }
+        let global_before = self.global_queue.len();
         let mut i = 0;
         while out.len() < cap && i < self.global_queue.len() {
             let (matches, tenant) = {
@@ -960,9 +1262,20 @@ impl Cluster {
                 });
             if matches && !blocked {
                 let r = self.global_queue.remove(i).expect("index in bounds");
+                if self.recorder.is_some() {
+                    let id = r.id;
+                    self.emit(ObsEvent::Join { req: id, gpu: g });
+                }
                 out.push(r);
             } else {
                 i += 1;
+            }
+        }
+        let qlen = self.global_queue.len();
+        if qlen != global_before {
+            self.metrics.observe_queue_depth(self.now, qlen);
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::QueueDepth { len: qlen });
             }
         }
     }
@@ -1010,6 +1323,10 @@ impl Cluster {
         if self.units[gi].state == UnitState::Online {
             self.idle_online -= 1;
         }
+        if self.recorder.is_some() {
+            let (id, g) = (lead.id, self.units[gi].id());
+            self.emit(ObsEvent::Join { req: id, gpu: g });
+        }
         let mut requests = self.batch_pool.pop().unwrap_or_default();
         requests.push(lead);
         if self.batcher.is_passthrough() {
@@ -1031,6 +1348,16 @@ impl Cluster {
                 let seq = self.dispatch_seq;
                 self.dispatch_seq += 1;
                 let release_at = self.now + hold;
+                self.profile.holds_parked += 1;
+                if self.recorder.is_some() {
+                    let gathered = requests.len();
+                    self.emit(ObsEvent::HoldStart {
+                        gpu: g,
+                        model,
+                        gathered,
+                        release_at,
+                    });
+                }
                 self.units[gi].holding = Some(HoldSlot {
                     requests,
                     max_requests: cap,
@@ -1115,6 +1442,12 @@ impl Cluster {
             self.metrics.record_dispatch(true, false);
             self.cache.touch(g, model);
         }
+        if self.recorder.is_some() {
+            let joined = requests.len() - len;
+            if joined > 0 {
+                self.emit(ObsEvent::LoadRiders { gpu: g, joined });
+            }
+        }
         self.units[gi]
             .in_flight
             .as_mut()
@@ -1132,6 +1465,7 @@ impl Cluster {
         hit: bool,
         events: &mut EventQueue<Event>,
     ) {
+        self.profile.dispatches += 1;
         if hit {
             self.execute_hit(gi, requests, events);
         } else {
@@ -1149,8 +1483,10 @@ impl Cluster {
     /// are invisible to the policy but still serve their own local
     /// queues, so no already-placed request is lost to a scale-down.
     fn schedule_pass(&mut self, events: &mut EventQueue<Event>) {
+        self.profile.schedule_passes += 1;
         let mut sched = self.sched.take().expect("scheduler in place");
         loop {
+            self.profile.pass_rounds += 1;
             debug_assert_eq!(
                 self.idle_online,
                 self.units
@@ -1289,6 +1625,24 @@ impl Cluster {
             .expect("hit dispatch on idle GPU");
         let seq = self.dispatch_seq;
         self.dispatch_seq += 1;
+        if self.recorder.is_some() {
+            let (lead, coalesced) = (requests[0].id, requests.len());
+            self.emit(ObsEvent::Dispatch {
+                gpu: g,
+                lead,
+                model,
+                hit: true,
+                false_miss: false,
+                coalesced,
+            });
+            self.emit(ObsEvent::InferStart {
+                gpu: g,
+                model,
+                batch: seq,
+                requests: coalesced,
+                items,
+            });
+        }
         self.units[gi].in_flight = Some(InFlight {
             requests,
             phase: Phase::Running,
@@ -1312,6 +1666,17 @@ impl Cluster {
         self.metrics.record_dispatch(false, false_miss);
         for _ in 1..requests.len() {
             self.metrics.record_dispatch(true, false);
+        }
+        if self.recorder.is_some() {
+            let (lead, coalesced) = (requests[0].id, requests.len());
+            self.emit(ObsEvent::Dispatch {
+                gpu: g,
+                lead,
+                model,
+                hit: false,
+                false_miss,
+                coalesced,
+            });
         }
 
         let occupancy = self.registry.occupancy_bytes(model);
@@ -1338,6 +1703,9 @@ impl Cluster {
                 .evict(v)
                 .expect("victims on an idle GPU are evictable");
             self.on_residency_change(v);
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::Eviction { gpu: g, model: v });
+            }
         }
         let load_time = self.load_time_on(gi, model);
         let (_pid, ready) = self.units[gi]
@@ -1354,6 +1722,13 @@ impl Cluster {
         self.report_lru(g);
         let seq = self.dispatch_seq;
         self.dispatch_seq += 1;
+        if self.recorder.is_some() {
+            self.emit(ObsEvent::LoadStart {
+                gpu: g,
+                model,
+                batch: seq,
+            });
+        }
         self.units[gi].in_flight = Some(InFlight {
             requests,
             phase: Phase::Loading,
@@ -1367,8 +1742,11 @@ impl Cluster {
 
     fn on_residency_change(&mut self, model: ModelId) {
         if self.hot_model == Some(model) {
-            self.metrics
-                .record_hot_replicas(self.now, self.cache.replica_count(model));
+            let replicas = self.cache.replica_count(model);
+            self.metrics.record_hot_replicas(self.now, replicas);
+            if self.recorder.is_some() {
+                self.emit(ObsEvent::HotReplicas { replicas });
+            }
         }
     }
 
@@ -1440,10 +1818,18 @@ impl SchedCtx<'_> {
     /// Removes and returns the queued request at position `i` for
     /// dispatch.
     pub fn take_queued(&mut self, i: usize) -> Request {
-        self.cluster
+        let r = self
+            .cluster
             .global_queue
             .remove(i)
-            .expect("index in bounds")
+            .expect("index in bounds");
+        let qlen = self.cluster.global_queue.len();
+        let now = self.cluster.now;
+        self.cluster.metrics.observe_queue_depth(now, qlen);
+        if self.cluster.recorder.is_some() {
+            self.cluster.emit(ObsEvent::QueueDepth { len: qlen });
+        }
+        r
     }
 
     /// Records that the request at position `i` was passed over by
@@ -1558,6 +1944,13 @@ impl SchedCtx<'_> {
             self.cluster.units[gi].local_queue.is_empty(),
             "idle GPUs have drained local queues"
         );
+        if self.cluster.recorder.is_some() {
+            let id = r.id;
+            self.cluster.emit(ObsEvent::SchedArm {
+                req: id,
+                arm: Arm::HitRemote,
+            });
+        }
         self.cluster.dispatch_batched(gi, r, true, self.events);
         self.progress = true;
     }
@@ -1567,6 +1960,18 @@ impl SchedCtx<'_> {
     /// estimates in the same pass include `r`.
     pub fn enqueue_local(&mut self, gpu: GpuId, r: Request) {
         let gi = gpu.0 as usize;
+        if self.cluster.recorder.is_some() {
+            let (id, model) = (r.id, r.model);
+            self.cluster.emit(ObsEvent::SchedArm {
+                req: id,
+                arm: Arm::WaitBusy,
+            });
+            self.cluster.emit(ObsEvent::LocalEnqueue {
+                req: id,
+                gpu,
+                model,
+            });
+        }
         self.cluster.agg_push(gi, &r);
         self.cluster.units[gi].local_queue.push_back(r);
         self.cluster.local_moves += 1;
@@ -1579,10 +1984,24 @@ impl SchedCtx<'_> {
         match dispatch {
             Dispatch::None => {}
             Dispatch::Hit(r) => {
+                if self.cluster.recorder.is_some() {
+                    let id = r.id;
+                    self.cluster.emit(ObsEvent::SchedArm {
+                        req: id,
+                        arm: Arm::HitLocal,
+                    });
+                }
                 self.cluster.dispatch_batched(gi, r, true, self.events);
                 self.progress = true;
             }
             Dispatch::Miss(r) => {
+                if self.cluster.recorder.is_some() {
+                    let id = r.id;
+                    self.cluster.emit(ObsEvent::SchedArm {
+                        req: id,
+                        arm: Arm::Miss,
+                    });
+                }
                 self.cluster.dispatch_batched(gi, r, false, self.events);
                 self.progress = true;
             }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use gfaas_gpu::GpuSpec;
+use gfaas_obs::RecordSpec;
 
 use crate::autoscale::{AutoscaleError, AutoscaleSpec};
 use crate::policy::{PolicyError, PolicySpec};
@@ -174,6 +175,13 @@ pub struct ClusterConfig {
     /// paper's components do through etcd. Off by default in benchmarks —
     /// it is observability, not behaviour.
     pub report_to_datastore: bool,
+    /// Event recording: which [`gfaas_obs`] recorders to attach
+    /// (lifecycle ledger, Perfetto trace export, time-series sampler)
+    /// — the `--record` CLI axis. Off by default everywhere; with the
+    /// default spec the cluster holds no recorder and the event loop
+    /// does not even construct events, so published numbers are
+    /// untouched.
+    pub record: RecordSpec,
 }
 
 impl Default for ClusterConfig {
@@ -202,6 +210,7 @@ impl ClusterConfig {
             crash_rate: 0.0,
             seed: 0x6fa5,
             report_to_datastore: false,
+            record: RecordSpec::default(),
         }
     }
 
@@ -224,6 +233,7 @@ impl ClusterConfig {
             crash_rate: 0.0,
             seed: 1,
             report_to_datastore: false,
+            record: RecordSpec::default(),
         }
     }
 

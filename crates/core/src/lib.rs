@@ -52,6 +52,11 @@ pub mod request;
 pub mod scheduler;
 pub mod tinylfu;
 
+/// Re-export of the observability layer ([`gfaas_obs`]): the [`obs::Recorder`]
+/// trait the cluster's lifecycle hooks feed, the concrete recorders
+/// (ledger / Perfetto / sampler), and the `--record` spec.
+pub use gfaas_obs as obs;
+
 pub use autoscale::{
     AutoscaleError, AutoscaleSpec, Autoscaler, QueuePressureAutoscaler, ScaleDecision,
 };
@@ -59,6 +64,7 @@ pub use batching::{AdaptiveBatch, BatchPlan, BatchPolicy, BatchView, CoalesceBat
 pub use cache::{CacheManager, Evictor, FifoEvictor, LruEvictor, RandomEvictor, ReplacementPolicy};
 pub use cluster::{Cluster, ScaleView, SchedCtx};
 pub use config::{ClusterConfig, ConfigError};
+pub use gfaas_obs::{NullRecorder, ObsEvent, RecordSpec, Recorder, SelfProfile};
 pub use live::{LiveResponse, LiveServer};
 pub use metrics::RunMetrics;
 pub use policy::{PolicyError, PolicyRegistry, PolicySpec};

@@ -21,6 +21,13 @@ pub struct MetricsCollector {
     duplicates: TimeWeighted,
     completed: u64,
     queue_peak: usize,
+    // Queue-depth integral in integer ticks (∫ depth d(ticks)): this is
+    // bumped on every depth transition in the hot arrival/dispatch path,
+    // so it avoids TimeWeighted's f64 conversions; u128 cannot overflow
+    // (depth and tick count are both far below 2^64).
+    queue_last_t: SimTime,
+    queue_last_len: usize,
+    queue_ticks: u128,
     /// Completed GPU invocations indexed by effective batch (coalesced
     /// requests per invocation); per-request dispatch puts everything in
     /// bucket 1. A flat array because this is bumped once per invocation
@@ -41,6 +48,9 @@ impl Default for MetricsCollector {
             duplicates: TimeWeighted::new(),
             completed: 0,
             queue_peak: 0,
+            queue_last_t: SimTime::ZERO,
+            queue_last_len: 0,
+            queue_ticks: 0,
             invocation_batches: Vec::new(),
             batched_requests: 0,
         }
@@ -75,9 +85,25 @@ impl MetricsCollector {
         self.duplicates.set(t, replicas as f64);
     }
 
-    /// Tracks the global queue's high-water mark.
-    pub fn observe_queue_len(&mut self, len: usize) {
+    /// Observes the global queue depth at time `t`.
+    ///
+    /// Tracks both the high-water mark and a time-weighted depth
+    /// integral. Before PR 7 the queue was only peeked at arrival time,
+    /// so idle stretches (depth 0) and hold/drain periods were invisible
+    /// and no average could be reported; the driver now calls this at
+    /// *every* depth transition (push, dispatch pop, crash requeue),
+    /// which makes `avg_queue_depth` an exact time average rather than
+    /// an arrival-biased sample. `queue_peak` is unchanged by this: the
+    /// queue can only reach a new maximum on a push, and every push was
+    /// already observed.
+    pub fn observe_queue_depth(&mut self, t: SimTime, len: usize) {
         self.queue_peak = self.queue_peak.max(len);
+        if t > self.queue_last_t {
+            self.queue_ticks += (t.as_micros() - self.queue_last_t.as_micros()) as u128
+                * self.queue_last_len as u128;
+            self.queue_last_t = t;
+        }
+        self.queue_last_len = len;
     }
 
     /// Records a completed GPU invocation that served `requests` coalesced
@@ -110,6 +136,13 @@ impl MetricsCollector {
             ps[2].unwrap_or(0.0),
         );
         let invocations: u64 = self.invocation_batches.iter().sum();
+        // Integrate the queue's final stretch out to the makespan; the
+        // driver anchors depth 0 at t=0, so the average spans the run.
+        let queue_ticks = self.queue_ticks
+            + end
+                .as_micros()
+                .saturating_sub(self.queue_last_t.as_micros()) as u128
+                * self.queue_last_len as u128;
         let coalesced: u64 = self
             .invocation_batches
             .iter()
@@ -137,6 +170,11 @@ impl MetricsCollector {
             avg_duplicates: self.duplicates.average_until(end),
             makespan_secs: end.as_secs_f64(),
             queue_peak: self.queue_peak,
+            avg_queue_depth: if end == SimTime::ZERO {
+                0.0
+            } else {
+                queue_ticks as f64 / end.as_micros() as f64
+            },
             gpu_seconds_provisioned: 0.0,
             scale_up_events: 0,
             scale_down_events: 0,
@@ -193,6 +231,9 @@ pub struct RunMetrics {
     pub makespan_secs: f64,
     /// Global-queue high-water mark.
     pub queue_peak: usize,
+    /// Time-averaged global-queue depth over the makespan (exact: the
+    /// driver records every depth transition, so idle stretches count).
+    pub avg_queue_depth: f64,
     /// Integrated provisioned GPU capacity over the run, in GPU-seconds —
     /// the cost side of the autoscaling trade-off. A fixed cluster
     /// reports exactly `num_gpus × makespan`; an elastic cluster counts
@@ -250,8 +291,8 @@ mod tests {
         c.record_dispatch(true, false);
         c.record_dispatch(false, true);
         c.record_dispatch(false, false);
-        c.observe_queue_len(7);
-        c.observe_queue_len(3);
+        c.observe_queue_depth(SimTime::from_secs(0), 7);
+        c.observe_queue_depth(SimTime::from_secs(50), 3);
         let m = c.finish(SimTime::from_secs(100), 0.5);
         assert_eq!(m.completed, 2);
         assert_eq!(m.p50_latency_secs, 2.0);
@@ -262,6 +303,8 @@ mod tests {
         assert!((m.miss_ratio - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.false_miss_ratio - 0.5).abs() < 1e-12);
         assert_eq!(m.queue_peak, 7);
+        // Depth 7 for 50 s then 3 for 50 s = time-average 5.
+        assert!((m.avg_queue_depth - 5.0).abs() < 1e-12);
         assert_eq!(m.makespan_secs, 100.0);
         assert_eq!(m.sm_utilization, 0.5);
     }

@@ -1,0 +1,409 @@
+//! Cadence-driven time-series sampler.
+//!
+//! On every sampling tick the cluster hands recorders an
+//! [`crate::SampleView`] snapshot; this recorder turns those into
+//! per-window rows (queue depth, online/busy/draining GPU counts,
+//! arrival/completion counts, effective batch size, cold-miss-rate
+//! EWMA) plus per-GPU detail rows — the per-minute CSVs a predictive
+//! autoscaler can train on.
+
+use std::sync::{Arc, Mutex};
+
+use gfaas_gpu::GpuId;
+use gfaas_sim::time::{SimDuration, SimTime};
+
+use crate::{ObsEvent, Recorder};
+
+/// Smoothing factor for the miss-rate EWMA (weight on the new window).
+const MISS_EWMA_ALPHA: f64 = 0.3;
+
+/// One cluster-wide sample row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesRow {
+    /// Sample index (0-based window number).
+    pub window: usize,
+    /// Simulation time of the sample.
+    pub t: SimTime,
+    /// Global queue depth at the tick.
+    pub queue_depth: usize,
+    /// Online GPUs.
+    pub online: usize,
+    /// GPUs with an invocation in flight.
+    pub busy: usize,
+    /// GPUs draining toward scale-down.
+    pub draining: usize,
+    /// Total resident model copies across the fleet.
+    pub resident: usize,
+    /// Requests that arrived during the window.
+    pub arrivals: u64,
+    /// Requests that completed during the window.
+    pub completions: u64,
+    /// Invocations launched during the window.
+    pub invocations: u64,
+    /// Mean requests per invocation over the window (0 if none).
+    pub eff_batch: f64,
+    /// Cold-miss rate EWMA across windows.
+    pub miss_ewma: f64,
+}
+
+/// One per-GPU sample row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuSeriesRow {
+    /// Sample index (0-based window number).
+    pub window: usize,
+    /// Simulation time of the sample.
+    pub t: SimTime,
+    /// Device id.
+    pub gpu: GpuId,
+    /// Whether the unit was online.
+    pub online: bool,
+    /// Whether the unit was draining.
+    pub draining: bool,
+    /// Whether an invocation was in flight.
+    pub busy: bool,
+    /// Resident model count.
+    pub resident: usize,
+    /// Local wait-queue depth.
+    pub local_depth: usize,
+}
+
+/// The collected time series, queryable post-run.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    rows: Vec<SeriesRow>,
+    gpu_rows: Vec<GpuSeriesRow>,
+    // Window accumulators, reset on each sample.
+    win_arrivals: u64,
+    win_completions: u64,
+    win_invocations: u64,
+    win_coalesced: u64,
+    win_hits: u64,
+    win_misses: u64,
+    miss_ewma: f64,
+    ewma_primed: bool,
+}
+
+impl TimeSeries {
+    fn observe(&mut self, t: SimTime, ev: &ObsEvent<'_>) {
+        match *ev {
+            ObsEvent::Arrival { .. } => self.win_arrivals += 1,
+            ObsEvent::Completion { .. } => self.win_completions += 1,
+            ObsEvent::InvocationDone { requests, .. } => {
+                self.win_invocations += 1;
+                self.win_coalesced += requests as u64;
+            }
+            ObsEvent::Dispatch { hit, coalesced, .. } => {
+                if hit {
+                    self.win_hits += coalesced as u64;
+                } else {
+                    self.win_misses += 1;
+                    self.win_hits += coalesced.saturating_sub(1) as u64;
+                }
+            }
+            ObsEvent::LoadRiders { joined, .. } => self.win_hits += joined as u64,
+            ObsEvent::Sample { view } => {
+                // The end-of-run flush can coincide with the last cadence
+                // tick; a zero-duration window would only duplicate it.
+                if self.rows.last().is_some_and(|r| r.t == t) {
+                    return;
+                }
+                let window = self.rows.len();
+                let decisions = self.win_hits + self.win_misses;
+                if decisions > 0 {
+                    let rate = self.win_misses as f64 / decisions as f64;
+                    self.miss_ewma = if self.ewma_primed {
+                        MISS_EWMA_ALPHA * rate + (1.0 - MISS_EWMA_ALPHA) * self.miss_ewma
+                    } else {
+                        rate
+                    };
+                    self.ewma_primed = true;
+                }
+                let eff_batch = if self.win_invocations > 0 {
+                    self.win_coalesced as f64 / self.win_invocations as f64
+                } else {
+                    0.0
+                };
+                self.rows.push(SeriesRow {
+                    window,
+                    t,
+                    queue_depth: view.queue_len,
+                    online: view.online,
+                    busy: view.busy,
+                    draining: view.draining,
+                    resident: view.gpus.iter().map(|g| g.resident).sum(),
+                    arrivals: self.win_arrivals,
+                    completions: self.win_completions,
+                    invocations: self.win_invocations,
+                    eff_batch,
+                    miss_ewma: self.miss_ewma,
+                });
+                for g in view.gpus {
+                    self.gpu_rows.push(GpuSeriesRow {
+                        window,
+                        t,
+                        gpu: g.gpu,
+                        online: g.online,
+                        draining: g.draining,
+                        busy: g.busy,
+                        resident: g.resident,
+                        local_depth: g.local_depth,
+                    });
+                }
+                self.win_arrivals = 0;
+                self.win_completions = 0;
+                self.win_invocations = 0;
+                self.win_coalesced = 0;
+                self.win_hits = 0;
+                self.win_misses = 0;
+            }
+            _ => {}
+        }
+    }
+
+    /// Cluster-wide rows, one per sampling tick.
+    pub fn rows(&self) -> &[SeriesRow] {
+        &self.rows
+    }
+
+    /// Per-GPU rows (|gpus| per sampling tick).
+    pub fn gpu_rows(&self) -> &[GpuSeriesRow] {
+        &self.gpu_rows
+    }
+
+    /// Dump the cluster-wide series as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 + self.rows.len() * 72);
+        out.push_str(
+            "window,t_secs,queue_depth,online,busy,draining,resident,\
+             arrivals,completions,invocations,eff_batch,miss_ewma\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.3},{},{},{},{},{},{},{},{},{:.4},{:.4}\n",
+                r.window,
+                r.t.as_secs_f64(),
+                r.queue_depth,
+                r.online,
+                r.busy,
+                r.draining,
+                r.resident,
+                r.arrivals,
+                r.completions,
+                r.invocations,
+                r.eff_batch,
+                r.miss_ewma,
+            ));
+        }
+        out
+    }
+
+    /// Dump the per-GPU series as CSV.
+    pub fn to_gpu_csv(&self) -> String {
+        let mut out = String::with_capacity(64 + self.gpu_rows.len() * 40);
+        out.push_str("window,t_secs,gpu,online,draining,busy,resident,local_depth\n");
+        for r in &self.gpu_rows {
+            out.push_str(&format!(
+                "{},{:.3},{},{},{},{},{},{}\n",
+                r.window,
+                r.t.as_secs_f64(),
+                r.gpu.0,
+                r.online,
+                r.draining,
+                r.busy,
+                r.resident,
+                r.local_depth,
+            ));
+        }
+        out
+    }
+}
+
+/// Shared handle for extracting the series after a run.
+#[derive(Debug, Clone)]
+pub struct SeriesHandle(Arc<Mutex<TimeSeries>>);
+
+impl SeriesHandle {
+    /// Clone the collected series out of the recorder.
+    pub fn snapshot(&self) -> TimeSeries {
+        self.0.lock().expect("series lock poisoned").clone()
+    }
+}
+
+/// [`Recorder`] that builds a [`TimeSeries`] at a fixed cadence.
+#[derive(Debug)]
+pub struct SamplerRecorder {
+    series: Arc<Mutex<TimeSeries>>,
+    cadence: SimDuration,
+}
+
+impl SamplerRecorder {
+    /// Create a recorder/handle pair sampling every `cadence`.
+    pub fn new(cadence: SimDuration) -> (Self, SeriesHandle) {
+        assert!(!cadence.is_zero(), "sampling cadence must be positive");
+        let series = Arc::new(Mutex::new(TimeSeries::default()));
+        (
+            SamplerRecorder {
+                series: Arc::clone(&series),
+                cadence,
+            },
+            SeriesHandle(series),
+        )
+    }
+}
+
+impl Recorder for SamplerRecorder {
+    fn record(&mut self, t: SimTime, ev: &ObsEvent<'_>) {
+        self.series
+            .lock()
+            .expect("series lock poisoned")
+            .observe(t, ev);
+    }
+
+    fn sample_cadence(&self) -> Option<SimDuration> {
+        Some(self.cadence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuSample, SampleView};
+    use gfaas_gpu::ModelId;
+
+    #[test]
+    fn windows_accumulate_and_reset() {
+        let (mut rec, handle) = SamplerRecorder::new(SimDuration::from_secs(60));
+        let m = ModelId(0);
+        let g = GpuId(0);
+        for i in 0..5u64 {
+            rec.record(
+                SimTime::from_secs(i),
+                &ObsEvent::Arrival {
+                    req: i,
+                    model: m,
+                    queue_len: 1,
+                },
+            );
+        }
+        rec.record(
+            SimTime::from_secs(10),
+            &ObsEvent::Dispatch {
+                gpu: g,
+                lead: 0,
+                model: m,
+                hit: false,
+                false_miss: false,
+                coalesced: 3,
+            },
+        );
+        rec.record(
+            SimTime::from_secs(30),
+            &ObsEvent::InvocationDone {
+                gpu: g,
+                batch: 1,
+                requests: 3,
+            },
+        );
+        let gpus = [GpuSample {
+            gpu: g,
+            online: true,
+            draining: false,
+            busy: false,
+            resident: 2,
+            local_depth: 0,
+        }];
+        rec.record(
+            SimTime::from_secs(60),
+            &ObsEvent::Sample {
+                view: SampleView {
+                    queue_len: 2,
+                    online: 1,
+                    busy: 0,
+                    draining: 0,
+                    holding: 0,
+                    gpus: &gpus,
+                },
+            },
+        );
+        // Second, empty window.
+        rec.record(
+            SimTime::from_secs(120),
+            &ObsEvent::Sample {
+                view: SampleView {
+                    queue_len: 0,
+                    online: 1,
+                    busy: 0,
+                    draining: 0,
+                    holding: 0,
+                    gpus: &gpus,
+                },
+            },
+        );
+
+        let series = handle.snapshot();
+        assert_eq!(series.rows().len(), 2);
+        let w0 = series.rows()[0];
+        assert_eq!(w0.arrivals, 5);
+        assert_eq!(w0.invocations, 1);
+        assert!((w0.eff_batch - 3.0).abs() < 1e-12);
+        // 1 miss, 2 hit-riders in the dispatch: rate = 1/3.
+        assert!((w0.miss_ewma - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w0.resident, 2);
+
+        let w1 = series.rows()[1];
+        assert_eq!(w1.arrivals, 0);
+        // EWMA carries over when a window has no decisions.
+        assert!((w1.miss_ewma - w0.miss_ewma).abs() < 1e-12);
+        assert_eq!(series.gpu_rows().len(), 2);
+
+        let csv = series.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("window,t_secs,queue_depth"));
+        let gpu_csv = series.to_gpu_csv();
+        assert_eq!(gpu_csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn ewma_blends_across_windows() {
+        let mut ts = TimeSeries::default();
+        let g = GpuId(0);
+        let m = ModelId(0);
+        let gpus: [GpuSample; 0] = [];
+        let view = SampleView {
+            queue_len: 0,
+            online: 0,
+            busy: 0,
+            draining: 0,
+            holding: 0,
+            gpus: &gpus,
+        };
+        // Window 0: all misses -> rate 1.0 primes the EWMA.
+        ts.observe(
+            SimTime::from_secs(1),
+            &ObsEvent::Dispatch {
+                gpu: g,
+                lead: 0,
+                model: m,
+                hit: false,
+                false_miss: false,
+                coalesced: 1,
+            },
+        );
+        ts.observe(SimTime::from_secs(60), &ObsEvent::Sample { view });
+        assert!((ts.rows()[0].miss_ewma - 1.0).abs() < 1e-12);
+        // Window 1: all hits -> rate 0.0, EWMA = 0.7 * 1.0.
+        ts.observe(
+            SimTime::from_secs(70),
+            &ObsEvent::Dispatch {
+                gpu: g,
+                lead: 1,
+                model: m,
+                hit: true,
+                false_miss: false,
+                coalesced: 1,
+            },
+        );
+        ts.observe(SimTime::from_secs(120), &ObsEvent::Sample { view });
+        assert!((ts.rows()[1].miss_ewma - 0.7).abs() < 1e-12);
+    }
+}

@@ -341,6 +341,25 @@ impl Histogram {
         }
     }
 
+    /// Export the empirical CDF as `points` evenly spaced `(q, value)`
+    /// pairs with `q = i/points` for `i` in `1..=points` — ready for
+    /// plotting a latency distribution. Built on the batch
+    /// [`Histogram::quantiles`] selection path, so each value is the
+    /// exact nearest-rank order statistic (identical to what a sorted
+    /// scan would produce). Empty when the histogram has no samples or
+    /// `points == 0`.
+    pub fn dump_cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if points == 0 || self.samples.is_empty() {
+            return Vec::new();
+        }
+        let qs: Vec<f64> = (1..=points).map(|i| i as f64 / points as f64).collect();
+        self.quantiles(&qs)
+            .into_iter()
+            .zip(qs)
+            .map(|(v, q)| (q, v.expect("in-range quantile on non-empty histogram")))
+            .collect()
+    }
+
     /// Per-bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins
@@ -477,5 +496,43 @@ mod tests {
         // Out-of-range and empty behave like the scalar API.
         assert_eq!(batch[6], None);
         assert_eq!(Histogram::new(1.0, 4).quantiles(&[0.5]), vec![None]);
+    }
+
+    #[test]
+    fn histogram_dump_cdf_matches_sorted_oracle() {
+        // Deterministic scrambled samples (LCG), unsorted on purpose so
+        // dump_cdf exercises the selection path.
+        let mut state = 12345u64;
+        let samples: Vec<f64> = (0..97)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / 1e6
+            })
+            .collect();
+        let mut h = Histogram::new(1.0, 10);
+        for &x in &samples {
+            h.push(x);
+        }
+        let cdf = h.dump_cdf(20);
+        assert_eq!(cdf.len(), 20);
+
+        // Oracle: explicit sort + nearest-rank lookup.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, &(q, v)) in cdf.iter().enumerate() {
+            let expect_q = (i + 1) as f64 / 20.0;
+            assert!((q - expect_q).abs() < 1e-12);
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(v, sorted[rank - 1], "q={q}");
+        }
+        // Monotone non-decreasing, ends at the max.
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(cdf.last().unwrap().1, *sorted.last().unwrap());
+
+        // Degenerate inputs.
+        assert!(h.dump_cdf(0).is_empty());
+        assert!(Histogram::new(1.0, 4).dump_cdf(10).is_empty());
     }
 }

@@ -1,0 +1,178 @@
+//! Observability-layer contracts (PR 7):
+//!
+//! * **Recorder neutrality** — attaching every recorder must not change
+//!   a single metric bit. Recording is a read-only tap on the event
+//!   loop: the `RunMetrics` of a recorded run are byte-identical to the
+//!   unrecorded run for every smoke scenario, including batching and
+//!   autoscaling cells (those exercise the hold/ObsTick interleavings
+//!   where a buggy tap would perturb event order).
+//! * **Perfetto schema** — the exported Chrome trace-event JSON parses,
+//!   timestamps are monotone per track, and begin/end slices balance,
+//!   so the file opens in `ui.perfetto.dev` rather than erroring there.
+//! * **Ledger exactness** — per-request lifecycle segments
+//!   (queued + hold + load + inference) sum *tick-exactly* to the
+//!   latency the metrics pipeline reports; the decomposition is an
+//!   identity, not an approximation.
+//! * **Sampler cadence** — time-series rows land on the configured
+//!   cadence with sequential window ids.
+
+use gfaas_bench::{run_batched_on_trace, run_recorded_on_trace, RecordedRun};
+use gfaas_core::obs::perfetto::validate_chrome_trace;
+use gfaas_core::{AutoscaleSpec, PolicySpec, RecordSpec};
+use gfaas_workload::scenario::{find, registry};
+use gfaas_workload::Scale;
+
+fn record_all() -> RecordSpec {
+    RecordSpec {
+        ledger: true,
+        perfetto: true,
+        sample_secs: Some(5.0),
+        slo_secs: Some(10.0),
+    }
+}
+
+fn recorded_flash_crowd(seed: u64) -> RecordedRun {
+    let trace = find("flash_crowd")
+        .expect("flash_crowd scenario registered")
+        .trace(&Scale::smoke(), seed);
+    run_recorded_on_trace(
+        &"lalbo3".parse::<PolicySpec>().unwrap(),
+        &PolicySpec::bare("lru"),
+        &PolicySpec::bare("none"),
+        None,
+        &record_all(),
+        &trace,
+    )
+}
+
+#[test]
+fn recorders_are_metric_neutral_across_smoke_registry() {
+    let policy: PolicySpec = "lalbo3".parse().unwrap();
+    let replacement = PolicySpec::bare("lru");
+    let batchings = ["none", "coalesce", "adaptive"];
+    let autoscale = AutoscaleSpec::default();
+    for (i, sc) in registry().iter().enumerate() {
+        let trace = sc.trace(&Scale::smoke(), 11);
+        // Rotate batching policies and alternate the autoscaler across
+        // scenarios so every subsystem gets a recorded cell without
+        // running the full cross product.
+        let batching = PolicySpec::bare(batchings[i % batchings.len()]);
+        let scaling = if i % 2 == 1 { Some(&autoscale) } else { None };
+        let plain = run_batched_on_trace(&policy, &replacement, &batching, scaling, &trace);
+        let recorded = run_recorded_on_trace(
+            &policy,
+            &replacement,
+            &batching,
+            scaling,
+            &record_all(),
+            &trace,
+        );
+        assert_eq!(
+            plain,
+            recorded.metrics,
+            "{}/{}/autoscale={}: recording changed the metrics",
+            sc.name,
+            batching.key(),
+            scaling.is_some(),
+        );
+        // Byte-for-byte, not just PartialEq.
+        assert_eq!(format!("{plain:?}"), format!("{:?}", recorded.metrics));
+    }
+}
+
+#[test]
+fn perfetto_export_is_valid_chrome_trace() {
+    let run = recorded_flash_crowd(11);
+    let json = run.perfetto_json.expect("perfetto recorder attached");
+    let check = validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("flash_crowd trace failed validation: {e}"));
+    assert!(check.events > 0, "empty trace");
+    assert_eq!(check.begins, check.ends, "unbalanced duration slices");
+    assert!(
+        check.counters > 0,
+        "no counter samples (queue depth / hot replicas / provisioned GPUs)"
+    );
+    // At least one track per GPU (smoke testbed has several) plus the
+    // cluster counter tracks.
+    assert!(
+        check.tracks >= 3,
+        "suspiciously few tracks: {}",
+        check.tracks
+    );
+}
+
+#[test]
+fn ledger_segments_sum_exactly_to_latency() {
+    let run = recorded_flash_crowd(23);
+    let ledger = run.ledger.expect("ledger recorder attached");
+    assert_eq!(
+        ledger.completed() as u64,
+        run.metrics.completed,
+        "ledger row count disagrees with the metrics pipeline"
+    );
+    assert!(ledger.completed() > 0, "smoke run completed nothing");
+    for row in ledger.rows() {
+        if !row.completed {
+            continue;
+        }
+        // Tick-exact identity, not an epsilon comparison: the segments
+        // are carved out of the same SimTime arithmetic the metrics use.
+        assert_eq!(
+            row.segments_sum(),
+            row.latency,
+            "request {}: queued {:?} + hold {:?} + load {:?} + infer {:?} != latency {:?}",
+            row.req,
+            row.queued,
+            row.hold,
+            row.load,
+            row.infer,
+            row.latency,
+        );
+        assert_eq!(
+            row.slo_miss,
+            row.latency.as_secs_f64() > 10.0,
+            "request {}: slo_miss flag disagrees with the 10s SLO",
+            row.req,
+        );
+    }
+}
+
+#[test]
+fn sampler_rows_follow_cadence() {
+    let run = recorded_flash_crowd(47);
+    let series = run.series.expect("sampler recorder attached");
+    let rows = series.rows();
+    assert!(
+        rows.len() >= 2,
+        "expected multiple 5s windows, got {}",
+        rows.len()
+    );
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.window, i, "window ids must be sequential");
+        if i > 0 {
+            assert!(
+                row.t > rows[i - 1].t,
+                "sample times must be strictly increasing"
+            );
+        }
+    }
+    // Every row except a possible end-of-run flush lands on the cadence.
+    for row in &rows[..rows.len() - 1] {
+        let t = row.t.as_secs_f64();
+        let rem = t % 5.0;
+        assert!(
+            rem.abs() < 1e-9 || (5.0 - rem).abs() < 1e-9,
+            "sample at {t}s is off the 5s cadence"
+        );
+    }
+    // Window accumulators cover the whole run: every request completes
+    // in this engine, so windowed arrivals can't exceed completions.
+    let total_arrivals: u64 = rows.iter().map(|r| r.arrivals).sum();
+    assert!(total_arrivals <= run.metrics.completed);
+    // Per-GPU detail exists for every window.
+    assert!(!series.gpu_rows().is_empty());
+    assert_eq!(
+        series.gpu_rows().iter().map(|g| g.window).max(),
+        Some(rows.len() - 1)
+    );
+}
