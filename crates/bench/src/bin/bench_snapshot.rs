@@ -18,8 +18,8 @@
 
 use std::time::Instant;
 
-use gfaas_bench::{run_batched_on_trace, ScenarioSuite, REPORT_SEEDS};
-use gfaas_core::PolicySpec;
+use gfaas_bench::{run_batched_on_trace, run_stored_on_trace, ScenarioSuite, REPORT_SEEDS};
+use gfaas_core::{PolicySpec, StoreSpec};
 use gfaas_workload::scenario::find;
 use gfaas_workload::Scale;
 
@@ -57,6 +57,28 @@ fn measure_event_loop(label: &'static str, scale: &Scale, runs: usize) -> EventL
         queue_peak,
         wall_ms: best_ns * trace.len() as f64 / 1e6,
     }
+}
+
+/// The storage-hierarchy datapoint: event-loop throughput with the
+/// tiered store active on the same trace the flat points use, so the
+/// snapshot records what the tier stack costs per request. The flat
+/// points above stay byte-comparable with pre-store snapshots.
+fn measure_tiered_event_loop(scale: &Scale, runs: usize) -> f64 {
+    let trace = find("paper")
+        .expect("paper scenario is registered")
+        .trace(scale, 11);
+    let policy: PolicySpec = "lalbo3:25".parse().unwrap();
+    let lru = PolicySpec::bare("lru");
+    let none = PolicySpec::bare("none");
+    let tiered: StoreSpec = "tiered".parse().unwrap();
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let _ = run_stored_on_trace(&policy, &lru, &none, None, &tiered, &trace);
+        let ns = start.elapsed().as_nanos() as f64 / trace.len().max(1) as f64;
+        best_ns = best_ns.min(ns);
+    }
+    best_ns
 }
 
 /// Pulls `"key": <number>` out of a flat JSON snapshot without a parser
@@ -165,6 +187,7 @@ fn main() {
         measure_event_loop(small_label, &small, 3),
         measure_event_loop(large_label, &large, 1),
     ];
+    let tiered_ns = measure_tiered_event_loop(&small, 3);
 
     // End-to-end sweep: the acceptance metric is `scenarios --scale
     // production` wall clock (the smoke suite in CI).
@@ -199,6 +222,14 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"store\": {{ \"label\": \"{}\", \"flat_ns_per_request\": {:.1}, \
+         \"tiered_ns_per_request\": {:.1}, \"tiered_over_flat\": {:.2} }},\n",
+        small_label,
+        points[0].ns_per_request,
+        tiered_ns,
+        tiered_ns / points[0].ns_per_request.max(1e-9)
+    ));
     json.push_str(&format!(
         "  \"suite\": {{ \"scale\": \"{}\", \"cells\": {}, \"wall_ms\": {:.1}, \
          \"cells_per_sec\": {:.2} }}",

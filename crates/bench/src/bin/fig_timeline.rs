@@ -19,16 +19,18 @@
 //! *is* the telemetry smoke test. `--out` keeps the JSON for
 //! `ui.perfetto.dev`.
 
-use gfaas_bench::{parse_cli_spec, run_recorded_on_trace, SpecKind, TablePrinter};
+use gfaas_bench::{
+    parse_cli_spec, parse_cli_store, run_recorded_stored_on_trace, SpecKind, TablePrinter,
+};
 use gfaas_core::obs::perfetto::validate_chrome_trace;
-use gfaas_core::{PolicySpec, RecordSpec};
+use gfaas_core::{PolicySpec, RecordSpec, StoreSpec};
 use gfaas_workload::scenario::find;
 use gfaas_workload::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fig_timeline [--smoke] [--scenario NAME] [--policy SPEC] [--batching SPEC]\n\
-         \x20                  [--seed S] [--sample SECS] [--slo SECS]\n\
+         \x20                  [--store SPEC] [--seed S] [--sample SECS] [--slo SECS]\n\
          \x20                  [--out FILE] [--ledger-out FILE] [--series-out FILE]"
     );
     std::process::exit(2);
@@ -48,6 +50,7 @@ fn main() {
     let mut scenario = "flash_crowd".to_string();
     let mut policy: Option<PolicySpec> = None;
     let mut batching = PolicySpec::bare("none");
+    let mut store = StoreSpec::default();
     let mut seed: u64 = 11;
     let mut sample_secs: f64 = RecordSpec::DEFAULT_SAMPLE_SECS;
     let mut slo_secs: f64 = 10.0;
@@ -72,6 +75,13 @@ fn main() {
             "--batching" => {
                 let Some(v) = it.next() else { usage() };
                 batching = parse_cli_spec(v, SpecKind::Batcher).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                });
+            }
+            "--store" => {
+                let Some(v) = it.next() else { usage() };
+                store = parse_cli_store(v).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage();
                 });
@@ -139,11 +149,12 @@ fn main() {
         scale.name
     );
 
-    let run = run_recorded_on_trace(
+    let run = run_recorded_stored_on_trace(
         &policy,
         &PolicySpec::bare("lru"),
         &batching,
         None,
+        &store,
         &record,
         &trace,
     );
@@ -164,6 +175,37 @@ fn main() {
         ledger.slo_misses()
     );
     println!("  mean segments (s): {seg}");
+    // Load-time split by serving tier: where miss uploads were actually
+    // fed from. Hits never load, so they carry no tier; under the flat
+    // store every load is an origin load by definition.
+    {
+        let mut tiers: Vec<(String, usize, f64)> = Vec::new();
+        for row in ledger.rows().iter().filter(|r| r.completed) {
+            let label = match row.tier {
+                Some(t) => t.label().into_owned(),
+                None => continue,
+            };
+            match tiers.iter_mut().find(|(l, _, _)| *l == label) {
+                Some(e) => {
+                    e.1 += 1;
+                    e.2 += row.load.as_secs_f64();
+                }
+                None => tiers.push((label, 1, row.load.as_secs_f64())),
+            }
+        }
+        tiers.sort_by(|a, b| a.0.cmp(&b.0));
+        let tier_t = TablePrinter::new(&[12, 10, 12]);
+        println!(
+            "{}",
+            tier_t.header(&["load_tier", "requests", "load_s_sum"])
+        );
+        for (label, n, secs) in &tiers {
+            println!(
+                "{}",
+                tier_t.row(&[label.clone(), n.to_string(), format!("{secs:.2}")])
+            );
+        }
+    }
     let arm_t = TablePrinter::new(&[12, 10, 8]);
     println!("{}", arm_t.header(&["arm", "requests", "share"]));
     let total = ledger.completed().max(1) as f64;

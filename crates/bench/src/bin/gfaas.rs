@@ -24,7 +24,9 @@
 
 use std::collections::HashMap;
 
-use gfaas_bench::{paper_policies, parse_cli_spec, SpecKind, TablePrinter, WORKING_SETS};
+use gfaas_bench::{
+    paper_policies, parse_cli_spec, parse_cli_store, SpecKind, TablePrinter, WORKING_SETS,
+};
 use gfaas_core::{Cluster, ClusterConfig, PolicyRegistry, PolicySpec, RunMetrics};
 use gfaas_gpu::pcie::PcieModel;
 use gfaas_models::profiler::profile_all;
@@ -37,6 +39,7 @@ fn usage() -> ! {
          run flags: --policy lb|lalb|lalbo3[:limit]  --ws N  --seed S  --seeds a,b,c\n\
          \x20          --o3-limit N  --gpus N  --headroom MIB  --burstiness F\n\
          \x20          --replacement lru|fifo|random|tinylfu[:decay]\n\
+         \x20          --store flat|tiered[:host=B,origin_bw=R,...]\n\
          \x20          --tenants N  --tenant-cap N\n\
          \x20          --record ledger|perfetto|sample[=secs]|slo=secs|all\n\
          \x20          --trace-out FILE  --ledger-out FILE  --series-out FILE\n\
@@ -110,6 +113,14 @@ fn replacement_of(flags: &HashMap<String, String>) -> PolicySpec {
     )
 }
 
+/// Resolves `--store` against the registry (default `flat`).
+fn store_of(flags: &HashMap<String, String>) -> gfaas_core::StoreSpec {
+    parse_cli_store(flags.get("store").map(String::as_str).unwrap_or("flat")).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
+}
+
 fn print_metrics(name: &str, m: &RunMetrics) {
     println!("{name}:");
     println!("  completed         {}", m.completed);
@@ -140,6 +151,7 @@ fn write_file(path: &str, contents: &str, what: &str) {
 fn cmd_run(flags: HashMap<String, String>) {
     let policy = policy_of(&flags);
     let replacement = replacement_of(&flags);
+    let store = store_of(&flags);
     let policy_name = PolicyRegistry::builtin()
         .scheduler_name(&policy)
         .expect("validated above");
@@ -203,9 +215,22 @@ fn cmd_run(flags: HashMap<String, String>) {
             }));
         }
         cfg.replacement = replacement.clone();
+        cfg.store = store.clone();
         cfg.record = record;
         let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
         let m = cluster.run(&trace);
+        if !store.is_flat() {
+            let s = cluster.store_stats();
+            println!(
+                "store {}: host_hits {} origin {} prefetches {} joins {} demotions {}",
+                cluster.store_name(),
+                s.host_hits,
+                s.origin_loads,
+                s.prefetches,
+                s.prefetch_joins,
+                s.demotions
+            );
+        }
         if let Some(json) = cluster.perfetto_json() {
             if let Some(path) = flags.get("trace-out") {
                 write_file(path, &json, "Perfetto trace");

@@ -22,8 +22,11 @@
 //! paper scale with default policies reproduce `fig4_comparison`'s WS 25
 //! numbers exactly (same traces, same seeds, same cluster).
 
-use gfaas_bench::{parse_cli_spec, run_recorded_on_trace, ScenarioSuite, SpecKind, TablePrinter};
-use gfaas_core::{AutoscaleSpec, PolicySpec, RecordSpec};
+use gfaas_bench::{
+    parse_cli_spec, parse_cli_store, run_recorded_stored_on_trace, ScenarioSuite, SpecKind,
+    TablePrinter,
+};
+use gfaas_core::{AutoscaleSpec, PolicySpec, RecordSpec, StoreSpec};
 use gfaas_workload::Scale;
 
 fn usage() -> ! {
@@ -33,6 +36,7 @@ fn usage() -> ! {
          \x20                [--replacement spec]\n\
          \x20                [--batching none|coalesce[:max=M,wait=S]|adaptive[:slo=T,max=M,wait=S]]\n\
          \x20                [--autoscale queue:min=M,max=N,up=U,down=D[,cadence=S]]\n\
+         \x20                [--store flat|tiered[:host=B,origin_bw=R,...]]\n\
          \x20                [--azure-data invocations_per_function.csv]\n\
          \x20                [--threads N]\n\
          \x20                [--record ledger|perfetto|sample[=secs]|slo=secs|all]\n\
@@ -70,6 +74,7 @@ fn parse_suite(args: &[String]) -> Cli {
     let mut replacement: Option<PolicySpec> = None;
     let mut batching: Option<PolicySpec> = None;
     let mut autoscale: Option<AutoscaleSpec> = None;
+    let mut store: Option<StoreSpec> = None;
     let mut azure_real: Option<gfaas_trace::AzureFunctionsDataset> = None;
     let mut threads: Option<usize> = None;
     let mut record: Option<RecordSpec> = None;
@@ -136,6 +141,13 @@ fn parse_suite(args: &[String]) -> Cli {
                     usage();
                 }));
             }
+            "--store" => {
+                let Some(spec) = it.next() else { usage() };
+                store = Some(parse_cli_store(spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                }));
+            }
             "--azure-data" => {
                 // Registers the `azure_real` replay scenario from a real
                 // Azure Functions per-minute CSV.
@@ -187,6 +199,9 @@ fn parse_suite(args: &[String]) -> Cli {
         suite.batching = batching;
     }
     suite.autoscale = autoscale;
+    if let Some(store) = store {
+        suite.store = store;
+    }
     suite.azure_real = azure_real;
     if let Some(threads) = threads {
         suite.threads = threads;
@@ -269,6 +284,9 @@ fn main() {
     let autoscaled = suite.autoscale.is_some();
     if let Some(autoscale) = &suite.autoscale {
         println!("Autoscale: {autoscale}\n");
+    }
+    if !suite.store.is_flat() {
+        println!("Store: {}\n", suite.store);
     }
 
     let report = suite.run();
@@ -364,11 +382,12 @@ fn main() {
         let scenario = &suite.scenarios[0];
         let seed = suite.seeds[0];
         let trace = scenario.trace(&suite.scale, seed);
-        let run = run_recorded_on_trace(
+        let run = run_recorded_stored_on_trace(
             &suite.policies[0],
             &suite.replacement,
             &suite.batching,
             suite.autoscale.as_ref(),
+            &suite.store,
             &record,
             &trace,
         );

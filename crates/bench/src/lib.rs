@@ -27,6 +27,7 @@ use gfaas_core::obs::ledger::Ledger;
 use gfaas_core::obs::sampler::TimeSeries;
 use gfaas_core::{
     AutoscaleSpec, Cluster, ClusterConfig, Policy, PolicySpec, RecordSpec, RunMetrics, SelfProfile,
+    StoreSpec,
 };
 use gfaas_models::ModelRegistry;
 use gfaas_trace::{AzureFunctionsDataset, AzureTraceConfig, Trace, TraceStats};
@@ -119,10 +120,33 @@ pub fn run_profiled_on_trace(
     autoscale: Option<&AutoscaleSpec>,
     trace: &Trace,
 ) -> (RunMetrics, SelfProfile) {
+    run_stored_on_trace(
+        policy,
+        replacement,
+        batching,
+        autoscale,
+        &StoreSpec::default(),
+        trace,
+    )
+}
+
+/// Like [`run_profiled_on_trace`] with an explicit model-store spec (the
+/// `--store` CLI axis). The `flat` default keeps every published number
+/// byte-identical; `tiered:…` prices cache-miss loads through the
+/// HBM ↔ host ↔ origin hierarchy.
+pub fn run_stored_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    batching: &PolicySpec,
+    autoscale: Option<&AutoscaleSpec>,
+    store: &StoreSpec,
+    trace: &Trace,
+) -> (RunMetrics, SelfProfile) {
     let mut cfg = ClusterConfig::paper_testbed(policy.clone());
     cfg.replacement = replacement.clone();
     cfg.batching = batching.clone();
     cfg.autoscale = autoscale.cloned();
+    cfg.store = store.clone();
     let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
     let metrics = cluster.run(trace);
     let profile = cluster.self_profile();
@@ -156,10 +180,32 @@ pub fn run_recorded_on_trace(
     record: &RecordSpec,
     trace: &Trace,
 ) -> RecordedRun {
+    run_recorded_stored_on_trace(
+        policy,
+        replacement,
+        batching,
+        autoscale,
+        &StoreSpec::default(),
+        record,
+        trace,
+    )
+}
+
+/// Like [`run_recorded_on_trace`] with an explicit model-store spec.
+pub fn run_recorded_stored_on_trace(
+    policy: &PolicySpec,
+    replacement: &PolicySpec,
+    batching: &PolicySpec,
+    autoscale: Option<&AutoscaleSpec>,
+    store: &StoreSpec,
+    record: &RecordSpec,
+    trace: &Trace,
+) -> RecordedRun {
     let mut cfg = ClusterConfig::paper_testbed(policy.clone());
     cfg.replacement = replacement.clone();
     cfg.batching = batching.clone();
     cfg.autoscale = autoscale.cloned();
+    cfg.store = store.clone();
     cfg.record = *record;
     let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
     let metrics = cluster.run(trace);
@@ -303,6 +349,10 @@ pub struct ScenarioSuite {
     /// Elastic-capacity spec every cell runs under (`None`, the default,
     /// is the paper's fixed 12-GPU testbed).
     pub autoscale: Option<AutoscaleSpec>,
+    /// Model-store spec every cell runs under (default `flat`, the
+    /// uniform load times of every published number; `tiered:…` prices
+    /// loads through the HBM ↔ host ↔ origin hierarchy).
+    pub store: StoreSpec,
     /// A real Azure Functions per-minute dataset: when set, the sweep
     /// registers an extra `azure_real` scenario replaying the dataset's
     /// top `scale.working_set` functions verbatim (the `scenarios` CLI
@@ -354,6 +404,7 @@ impl ScenarioSuite {
             replacement: PolicySpec::bare("lru"),
             batching: PolicySpec::bare("none"),
             autoscale: None,
+            store: StoreSpec::default(),
             azure_real: None,
             seeds,
             threads: 1,
@@ -381,6 +432,7 @@ impl ScenarioSuite {
             && self.replacement == PolicySpec::bare("lru")
             && self.batching == PolicySpec::bare("none")
             && self.autoscale.is_none()
+            && self.store.is_flat()
             && self.azure_real.is_none()
             && self.scenarios.len() == registry().len()
     }
@@ -459,11 +511,12 @@ impl ScenarioSuite {
             let runs: Vec<RunMetrics> = traces
                 .iter()
                 .map(|t| {
-                    let (m, p) = run_profiled_on_trace(
+                    let (m, p) = run_stored_on_trace(
                         policy,
                         &self.replacement,
                         &self.batching,
                         self.autoscale.as_ref(),
+                        &self.store,
                         t,
                     );
                     profile.merge(&p);
@@ -531,6 +584,8 @@ pub enum SpecKind {
     Evictor,
     /// A request-batching spec (`none`, `coalesce:max=8,wait=0.05`, …).
     Batcher,
+    /// A model-store spec (`flat`, `tiered:host=64G,origin_bw=2G`, …).
+    Store,
 }
 
 /// Parses a CLI-facing policy spec and validates it against the builtin
@@ -553,8 +608,20 @@ pub fn parse_cli_spec(s: &str, kind: SpecKind) -> Result<PolicySpec, String> {
             .batcher(&spec)
             .map(drop)
             .map_err(|e| format!("{e} (known: {:?})", reg.batcher_keys()))?,
+        SpecKind::Store => reg
+            .store(&spec)
+            .map(drop)
+            .map_err(|e| format!("{e} (known: {:?})", reg.store_keys()))?,
     }
     Ok(spec)
+}
+
+/// Parses and validates a CLI-facing `--store` spec, returning the
+/// typed [`StoreSpec`] the cluster config carries. Validation runs
+/// through the builtin registry so diagnostics list the known backends.
+pub fn parse_cli_store(s: &str) -> Result<StoreSpec, String> {
+    parse_cli_spec(s, SpecKind::Store)?;
+    s.parse::<StoreSpec>().map_err(|e| e.to_string())
 }
 
 /// Relative reduction `(base - ours) / base`, formatted as the paper
@@ -688,7 +755,24 @@ mod tests {
         let mut s = ScenarioSuite::paper_default();
         s.policies = vec![Policy::lalbo3().into()];
         assert!(!s.is_paper_default());
+        let mut s = ScenarioSuite::paper_default();
+        s.store = "tiered:host=8G".parse().unwrap();
+        assert!(!s.is_paper_default());
         assert!(!ScenarioSuite::smoke().is_paper_default());
+    }
+
+    #[test]
+    fn store_specs_parse_and_validate_via_cli_helper() {
+        assert!(parse_cli_store("flat").unwrap().is_flat());
+        let tiered = parse_cli_store("tiered:host=8G,origin_bw=2G").unwrap();
+        assert!(!tiered.is_flat());
+        assert_eq!(tiered.host_bytes, 8 * 1024 * 1024 * 1024);
+        let err = parse_cli_store("s3").unwrap_err();
+        assert!(
+            err.contains("flat"),
+            "diagnostic lists known backends: {err}"
+        );
+        assert!(parse_cli_store("tiered:wat=1").is_err());
     }
 
     #[test]

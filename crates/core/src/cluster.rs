@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use gfaas_faas::Datastore;
-use gfaas_gpu::{GpuDevice, GpuId, ModelId};
+use gfaas_gpu::{GpuDevice, GpuId, ModelId, Tier};
 use gfaas_models::ModelRegistry;
 use gfaas_obs::ledger::{Ledger, LedgerHandle, LedgerRecorder};
 use gfaas_obs::perfetto::{PerfettoHandle, PerfettoRecorder};
@@ -41,6 +41,7 @@ use gfaas_obs::sampler::{SamplerRecorder, SeriesHandle, TimeSeries};
 use gfaas_obs::{Arm, GpuSample, MultiRecorder, ObsEvent, Recorder, SampleView, SelfProfile};
 use gfaas_sim::event::EventQueue;
 use gfaas_sim::time::{SimDuration, SimTime};
+use gfaas_store::{ModelStore, StoreStats};
 use gfaas_trace::Trace;
 
 use crate::autoscale::{Autoscaler, ScaleDecision};
@@ -49,7 +50,7 @@ use crate::cache::{CacheManager, Evictor};
 use crate::config::{BusyWaitPolicy, ClusterConfig, ConfigError};
 use crate::gpu_manager::{lru_key, status_key, GpuUnit, HoldSlot, InFlight, Phase, UnitState};
 use crate::metrics::{MetricsCollector, RunMetrics};
-use crate::policy::PolicyRegistry;
+use crate::policy::{PolicyRegistry, PolicySpec};
 use crate::request::Request;
 use crate::scheduler::{Dispatch, SchedulerPolicy};
 
@@ -92,6 +93,14 @@ pub struct Cluster {
     /// The active request-batching policy ([`crate::batching`]); the
     /// builtin `none` keeps the paper's per-request dispatch.
     batcher: Box<dyn BatchPolicy>,
+    /// The model-store backend behind every cache-miss load
+    /// ([`gfaas_store`]); the builtin `flat` keeps the paper's uniform
+    /// load times.
+    store: Box<dyn ModelStore>,
+    /// Cached `store.is_flat()` so the hot load path (estimators run per
+    /// scheduling decision) gates on one predictable branch and the flat
+    /// default stays byte-identical to a build without the store hooks.
+    store_flat: bool,
     global_queue: VecDeque<Request>,
     metrics: MetricsCollector,
     now: SimTime,
@@ -219,6 +228,17 @@ impl Cluster {
         self.batcher.name()
     }
 
+    /// The active model-store backend's display name.
+    pub fn store_name(&self) -> String {
+        self.store.name()
+    }
+
+    /// The store backend's counters (host hits, origin loads, prefetches,
+    /// demotions, …). All-zero under the flat default.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
     /// Builds a cluster around explicitly constructed policy objects —
     /// the open path for policies living outside the builtin registry.
     /// The config's `policy`/`replacement` specs are ignored in favour of
@@ -231,8 +251,13 @@ impl Cluster {
     ) -> Result<Self, ConfigError> {
         config.validate()?;
         // Batching always resolves through the builtin registry (use
-        // `set_batcher` for custom policies).
+        // `set_batcher` for custom policies). The store spec resolves the
+        // same way — through its canonical display form, so a registry
+        // shadowing `tiered` would be honoured.
         let batcher = PolicyRegistry::builtin().batcher(&config.batching)?;
+        let store_spec = PolicySpec::parse(&config.store.to_string())?;
+        let store = PolicyRegistry::builtin().store(&store_spec)?;
+        let store_flat = store.is_flat();
         // An elastic cluster allocates every device it may ever bring
         // online; `num_gpus` (clamped into the autoscale band) of them
         // start online, the rest wait offline for a scale-up.
@@ -294,6 +319,8 @@ impl Cluster {
             cache,
             sched: Some(sched),
             batcher,
+            store,
+            store_flat,
             global_queue: VecDeque::new(),
             metrics: MetricsCollector::new(),
             now: SimTime::ZERO,
@@ -477,11 +504,26 @@ impl Cluster {
             .mul_f64(self.units[gi].device.spec().compute_scale)
     }
 
-    /// Per-GPU model load time, scaled likewise.
+    /// Per-GPU model load time, scaled likewise — the estimator view of
+    /// the load cost, priced through the store backend. Under the flat
+    /// default this is exactly the registry profile × the device's PCIe
+    /// scale; a tiered store reprices it by where the bytes live now
+    /// (host cache, an in-flight fetch, or origin).
     fn load_time_on(&self, gi: usize, model: ModelId) -> SimDuration {
-        self.registry
-            .load_time(model)
-            .mul_f64(self.units[gi].device.spec().load_scale)
+        self.load_cost_scaled(model, self.units[gi].device.spec().load_scale)
+    }
+
+    /// The store-priced load cost for `model` given a device's PCIe
+    /// scale. Factored out of [`Cluster::load_time_on`] so estimator
+    /// closures can price loads without borrowing the whole unit.
+    fn load_cost_scaled(&self, model: ModelId, load_scale: f64) -> SimDuration {
+        let flat = self.registry.load_time(model).mul_f64(load_scale);
+        if self.store_flat {
+            flat
+        } else {
+            self.store
+                .load_cost(self.now, model, self.registry.occupancy_bytes(model), flat)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -585,7 +627,7 @@ impl Cluster {
                 self.now,
                 coalesced,
                 |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
-                |m| registry.load_time(m).mul_f64(load_scale),
+                |m| self.load_cost_scaled(m, load_scale),
             );
             debug_assert_eq!(wait, naive, "local-queue aggregate out of sync on GPU {gi}");
         }
@@ -689,6 +731,12 @@ impl Cluster {
                         model: req_model,
                         queue_len: qlen,
                     });
+                }
+                // Feed the store's arrival-rate tracker; a tiered backend
+                // may start an async prefetch on its origin link here.
+                if !self.store_flat {
+                    let bytes = self.registry.occupancy_bytes(req_model);
+                    self.store.note_arrival(self.now, req_model, bytes);
                 }
                 self.schedule_pass(&mut events);
             } else {
@@ -830,9 +878,9 @@ impl Cluster {
         };
         match phase {
             Phase::Loading => {
-                let model = {
+                let (model, tier) = {
                     let f = self.units[gi].in_flight.as_ref().expect("work in flight");
-                    f.model()
+                    (f.model(), f.tier)
                 };
                 self.units[gi]
                     .device
@@ -845,7 +893,11 @@ impl Cluster {
                     self.topup_loaded_batch(gi);
                 }
                 if self.recorder.is_some() {
-                    self.emit(ObsEvent::LoadComplete { gpu: g, model });
+                    self.emit(ObsEvent::LoadComplete {
+                        gpu: g,
+                        model,
+                        tier,
+                    });
                 }
                 // A coalesced invocation runs the whole batch's inputs in
                 // one pass of the affine latency model.
@@ -1088,6 +1140,12 @@ impl Cluster {
         }
         self.scale_ups += provisioned.len() as u64;
         self.online_high = self.online_high.max(self.online_gpus());
+        // Cold devices mean a burst of compulsory misses is coming: let a
+        // tiered store stage its hottest absent models toward the host
+        // cache before the cold-start storm hits the origin link.
+        if !self.store_flat {
+            self.store.note_scale_up(self.now);
+        }
         for g in provisioned {
             self.report_status(g, "idle");
             if self.recorder.is_some() {
@@ -1162,6 +1220,14 @@ impl Cluster {
                 .expect("drained GPU's residents are ready processes");
             self.cache.remove(g, model);
             self.on_residency_change(model);
+            // Drain evictions demote like capacity evictions do — the
+            // device is going away cleanly, so its weights are written
+            // back to the host cache. (Crashes do not demote: the
+            // process died with its memory.)
+            if !self.store_flat {
+                let bytes = self.registry.occupancy_bytes(model);
+                self.store.demote(self.now, model, bytes);
+            }
             if self.recorder.is_some() {
                 self.emit(ObsEvent::Eviction { gpu: g, model });
             }
@@ -1649,6 +1715,7 @@ impl Cluster {
             was_hit: true,
             started: self.now,
             seq,
+            tier: Tier::HBM,
         });
         self.report_status(g, "busy");
         self.schedule_inference_outcome(gi, done, dur, events);
@@ -1703,11 +1770,31 @@ impl Cluster {
                 .evict(v)
                 .expect("victims on an idle GPU are evictable");
             self.on_residency_change(v);
+            // Eviction demotes: the victim's weights land in the host
+            // cache (a device→host writeback overlaps compute, so the
+            // demotion itself is free), making the next miss for it a
+            // host hit instead of an origin fetch.
+            if !self.store_flat {
+                let bytes = self.registry.occupancy_bytes(v);
+                self.store.demote(self.now, v, bytes);
+            }
             if self.recorder.is_some() {
                 self.emit(ObsEvent::Eviction { gpu: g, model: v });
             }
         }
-        let load_time = self.load_time_on(gi, model);
+        // The store prices (and accounts) the upload: the flat backend
+        // echoes the per-device profile time; a tiered backend settles
+        // background transfers, serves from host if resident, joins an
+        // in-flight prefetch, or queues an origin fetch.
+        let flat_load = self
+            .registry
+            .load_time(model)
+            .mul_f64(self.units[gi].device.spec().load_scale);
+        let (tier, load_time) = if self.store_flat {
+            (Tier::ORIGIN, flat_load)
+        } else {
+            self.store.begin_load(self.now, model, occupancy, flat_load)
+        };
         let (_pid, ready) = self.units[gi]
             .device
             .start_load_timed(self.now, model, occupancy, load_time)
@@ -1727,6 +1814,7 @@ impl Cluster {
                 gpu: g,
                 model,
                 batch: seq,
+                tier,
             });
         }
         self.units[gi].in_flight = Some(InFlight {
@@ -1735,6 +1823,7 @@ impl Cluster {
             was_hit: false,
             started: self.now,
             seq,
+            tier,
         });
         self.report_status(g, "busy");
         events.schedule(ready, Event::GpuDone(g, seq));
@@ -1884,14 +1973,15 @@ impl SchedCtx<'_> {
             return self.estimated_wait(gpu);
         }
         let gi = gpu.0 as usize;
-        let spec = self.cluster.units[gi].device.spec();
+        let cluster = &*self.cluster;
+        let spec = cluster.units[gi].device.spec();
         let (compute_scale, load_scale) = (spec.compute_scale, spec.load_scale);
-        let registry = &self.cluster.registry;
-        self.cluster.units[gi].estimated_join_wait(
-            self.cluster.now,
+        let registry = &cluster.registry;
+        cluster.units[gi].estimated_join_wait(
+            cluster.now,
             model,
             |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
-            |m| registry.load_time(m).mul_f64(load_scale),
+            |m| cluster.load_cost_scaled(m, load_scale),
         )
     }
 

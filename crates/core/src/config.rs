@@ -4,6 +4,7 @@ use std::fmt;
 
 use gfaas_gpu::GpuSpec;
 use gfaas_obs::RecordSpec;
+use gfaas_store::{StoreError, StoreSpec};
 
 use crate::autoscale::{AutoscaleError, AutoscaleSpec};
 use crate::policy::{PolicyError, PolicySpec};
@@ -60,6 +61,8 @@ pub enum ConfigError {
     Policy(PolicyError),
     /// The autoscale spec is malformed or inconsistent.
     Autoscale(AutoscaleError),
+    /// The storage-hierarchy spec is malformed or inconsistent.
+    Store(StoreError),
     /// Autoscaling and per-GPU heterogeneous specs were both requested;
     /// the elastic fleet is sized by `autoscale.max_gpus`, so a
     /// `num_gpus`-length spec list cannot describe it.
@@ -86,6 +89,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBatch => write!(f, "batch_size must be positive"),
             ConfigError::Policy(e) => write!(f, "{e}"),
             ConfigError::Autoscale(e) => write!(f, "{e}"),
+            ConfigError::Store(e) => write!(f, "{e}"),
             ConfigError::AutoscaleWithHetero => {
                 write!(f, "autoscale and hetero_specs cannot be combined")
             }
@@ -104,6 +108,12 @@ impl From<PolicyError> for ConfigError {
 impl From<AutoscaleError> for ConfigError {
     fn from(e: AutoscaleError) -> Self {
         ConfigError::Autoscale(e)
+    }
+}
+
+impl From<StoreError> for ConfigError {
+    fn from(e: StoreError) -> Self {
+        ConfigError::Store(e)
     }
 }
 
@@ -169,6 +179,13 @@ pub struct ClusterConfig {
     /// paper's fixed testbed; every published number is produced with
     /// autoscaling off.
     pub autoscale: Option<AutoscaleSpec>,
+    /// The model-storage hierarchy behind the load path, resolved
+    /// through [`crate::policy::PolicyRegistry::store`] (`"flat"` — the
+    /// paper's single-cost infinite store and the default everywhere —
+    /// or `"tiered:host=64G,origin_bw=2G,…"`; see [`gfaas_store`]).
+    /// With `flat` the cluster's load path is byte-identical to the
+    /// pre-store simulator; every published number uses `flat`.
+    pub store: StoreSpec,
     /// RNG seed (random replacement, tie-breaking, crash injection).
     pub seed: u64,
     /// Mirror GPU status / LRU lists / latencies into the Datastore, as the
@@ -207,6 +224,7 @@ impl ClusterConfig {
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: PAPER_MEM_HEADROOM_MIB,
             autoscale: None,
+            store: StoreSpec::default(),
             crash_rate: 0.0,
             seed: 0x6fa5,
             report_to_datastore: false,
@@ -230,6 +248,7 @@ impl ClusterConfig {
             busy_wait: BusyWaitPolicy::Estimate,
             mem_headroom_mib: 0,
             autoscale: None,
+            store: StoreSpec::default(),
             crash_rate: 0.0,
             seed: 1,
             report_to_datastore: false,
@@ -271,6 +290,7 @@ impl ClusterConfig {
                 return Err(ConfigError::AutoscaleWithHetero);
             }
         }
+        self.store.validate()?;
         Ok(())
     }
 }
@@ -347,6 +367,20 @@ mod tests {
         c.autoscale = Some(AutoscaleSpec::default());
         c.hetero_specs = Some(vec![GpuSpec::test(1000); 2]);
         assert_eq!(c.validate(), Err(ConfigError::AutoscaleWithHetero));
+    }
+
+    #[test]
+    fn validate_checks_the_store_spec() {
+        let mut c = ClusterConfig::test(4, 1000, Policy::lalb());
+        assert!(c.store.is_flat(), "flat is the default");
+        assert!(c.validate().is_ok());
+        c.store = "tiered:host=8G,origin_bw=2G".parse().unwrap();
+        assert!(c.validate().is_ok());
+        // An inconsistent spec surfaces as ConfigError::Store.
+        let mut bad: StoreSpec = "tiered".parse().unwrap();
+        bad.origin_bw_bps = 0.0;
+        c.store = bad;
+        assert!(matches!(c.validate(), Err(ConfigError::Store(_))));
     }
 
     #[test]

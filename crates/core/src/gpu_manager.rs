@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use gfaas_gpu::{GpuDevice, GpuId, ModelId};
+use gfaas_gpu::{GpuDevice, GpuId, ModelId, Tier};
 use gfaas_sim::time::{SimDuration, SimTime};
 
 use crate::request::Request;
@@ -46,10 +46,18 @@ pub struct InFlight {
     /// Dispatch sequence token; completion/crash events must match it
     /// (a crash invalidates the token so stale completions are ignored).
     pub seq: u64,
+    /// Which storage tier served the lead dispatch: [`Tier::HBM`] for a
+    /// cache hit, the tier [`gfaas_store::ModelStore::begin_load`] reported
+    /// for a miss (host cache vs origin under a tiered store; a flat store
+    /// always reports origin). Carried so the load-complete event can be
+    /// labelled with where the bytes actually came from.
+    pub tier: Tier,
 }
 
 impl InFlight {
     /// A single-request invocation (the paper's per-request dispatch).
+    /// The tier defaults to [`Tier::HBM`] — the hit path; miss paths set
+    /// the serving tier explicitly from the store's answer.
     pub fn solo(request: Request, phase: Phase, was_hit: bool, started: SimTime, seq: u64) -> Self {
         InFlight {
             requests: vec![request],
@@ -57,6 +65,7 @@ impl InFlight {
             was_hit,
             started,
             seq,
+            tier: Tier::HBM,
         }
     }
 

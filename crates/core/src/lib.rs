@@ -57,6 +57,12 @@ pub mod tinylfu;
 /// (ledger / Perfetto / sampler), and the `--record` spec.
 pub use gfaas_obs as obs;
 
+/// Re-export of the storage hierarchy ([`gfaas_store`]): the
+/// [`store::ModelStore`] backend trait behind the cluster's load path,
+/// the flat (paper-identical) and tiered (HBM ↔ host ↔ origin) backends,
+/// and the `flat` | `tiered:host=64G,…` spec grammar.
+pub use gfaas_store as store;
+
 pub use autoscale::{
     AutoscaleError, AutoscaleSpec, Autoscaler, QueuePressureAutoscaler, ScaleDecision,
 };
@@ -65,6 +71,7 @@ pub use cache::{CacheManager, Evictor, FifoEvictor, LruEvictor, RandomEvictor, R
 pub use cluster::{Cluster, ScaleView, SchedCtx};
 pub use config::{ClusterConfig, ConfigError};
 pub use gfaas_obs::{NullRecorder, ObsEvent, RecordSpec, Recorder, SelfProfile};
+pub use gfaas_store::{FlatStore, ModelStore, StoreError, StoreSpec, StoreStats, TieredStore};
 pub use live::{LiveResponse, LiveServer};
 pub use metrics::RunMetrics;
 pub use policy::{PolicyError, PolicyRegistry, PolicySpec};

@@ -36,6 +36,34 @@ pub const DEFAULT_WINDOW: u64 = 128;
 /// Default W-TinyLFU admission-window size (0 = no window; pure TinyLFU).
 pub const DEFAULT_FRONT: usize = 0;
 
+/// Auto-tuning (`tinylfu:auto`): novelty rate at or above which the
+/// window is considered churning (new models keep appearing) and the
+/// evictor switches to the churn-tuned parameter set.
+pub const AUTO_HIGH_NOVELTY: f64 = 0.15;
+/// Auto-tuning: novelty rate at or below which the workload is considered
+/// stable/drifting and the evictor returns to the default parameter set.
+/// Rates between the two thresholds keep the current set (hysteresis).
+pub const AUTO_LOW_NOVELTY: f64 = 0.05;
+/// Auto-tuning: window-over-window access-mass overlap at or below which
+/// the workload is churning. Novelty only fires when model IDs leave the
+/// frequency table entirely; a sliding working set that stays inside a
+/// small model population instead shows up as the *distribution* of
+/// access mass moving between windows, which this threshold catches.
+pub const AUTO_LOW_OVERLAP: f64 = 0.50;
+/// Auto-tuning: overlap at or above which a window counts toward the
+/// stable streak that releases the churn latch. Between the two overlap
+/// thresholds the current parameter set is kept (hysteresis).
+pub const AUTO_HIGH_OVERLAP: f64 = 0.85;
+/// Auto-tuning: consecutive stable windows required before a latched
+/// churn regime is released back to the defaults. A working-set slide is
+/// an *event*, not a state — overlap looks placid between slides — so a
+/// single calm window must not unlatch.
+pub const AUTO_STABLE_WINDOWS: u32 = 4;
+/// The churn-tuned parameter set auto mode switches to: a slower decay
+/// with a longer window preserves surviving history while the admission
+/// window gives entrants time to build frequency.
+pub const AUTO_CHURN_PARAMS: (f64, u64, usize) = (0.3, 256, 1);
+
 /// Windowed frequency-decay replacement ([`Evictor`] impl).
 ///
 /// With `front > 0` the evictor runs as W-TinyLFU (Einziger et al.'s
@@ -59,6 +87,19 @@ pub struct TinyLfuEvictor {
     window: u64,
     decay: f64,
     front: usize,
+    /// Auto-tuning: retune decay/window/front at each window boundary
+    /// from the observed novelty rate.
+    auto: bool,
+    /// Accesses this window to models absent from the frequency table —
+    /// the novelty counter behind auto-tuning's regime detection.
+    novel: u64,
+    /// Raw access histogram of the current window (auto mode only) — the
+    /// overlap signal's numerator.
+    window_hist: BTreeMap<ModelId, u64>,
+    /// The previous window's histogram (auto mode only).
+    prev_hist: BTreeMap<ModelId, u64>,
+    /// Consecutive stable windows since the last churn signal.
+    stable_streak: u32,
 }
 
 impl Default for TinyLfuEvictor {
@@ -85,7 +126,36 @@ impl TinyLfuEvictor {
             window: DEFAULT_WINDOW,
             decay,
             front: DEFAULT_FRONT,
+            auto: false,
+            novel: 0,
+            window_hist: BTreeMap::new(),
+            prev_hist: BTreeMap::new(),
+            stable_streak: 0,
         }
+    }
+
+    /// The self-tuning evictor (`tinylfu:auto`): starts from the default
+    /// parameter set and, at every window boundary, measures two regime
+    /// signals. The *novelty rate* — the fraction of accesses to models
+    /// whose counter had already aged out of the frequency table — catches
+    /// population turnover ([`AUTO_HIGH_NOVELTY`]). The *window overlap* —
+    /// Σ min(pᵢ, qᵢ) between consecutive windows' access histograms —
+    /// catches a working set sliding inside a stable model population,
+    /// which novelty is blind to ([`AUTO_LOW_OVERLAP`]). Either signal
+    /// latches [`AUTO_CHURN_PARAMS`]; because a slide is an event rather
+    /// than a state, only [`AUTO_STABLE_WINDOWS`] consecutive quiet
+    /// windows ([`AUTO_LOW_NOVELTY`] and [`AUTO_HIGH_OVERLAP`]) release
+    /// the latch back to the defaults.
+    pub fn auto() -> Self {
+        TinyLfuEvictor {
+            auto: true,
+            ..TinyLfuEvictor::default()
+        }
+    }
+
+    /// True iff this evictor self-tunes (`tinylfu:auto`).
+    pub fn is_auto(&self) -> bool {
+        self.auto
     }
 
     /// Overrides the decay window (accesses between decay events).
@@ -120,15 +190,75 @@ impl TinyLfuEvictor {
     /// boundaries. Counters below ~1/2 an access are dropped so the table
     /// stays bounded by the recently-seen model set.
     fn record_access(&mut self, model: ModelId) {
+        if self.auto {
+            if !self.freq.contains_key(&model) {
+                self.novel += 1;
+            }
+            *self.window_hist.entry(model).or_insert(0) += 1;
+        }
         *self.freq.entry(model).or_insert(0.0) += 1.0;
         self.accesses += 1;
         if self.accesses >= self.window {
+            let novelty = self.novel as f64 / self.accesses as f64;
             self.accesses = 0;
+            self.novel = 0;
             let decay = self.decay;
             self.freq.retain(|_, f| {
                 *f *= decay;
                 *f >= 0.5
             });
+            if self.auto {
+                let overlap = self.window_overlap();
+                self.retune(novelty, overlap);
+                self.prev_hist = std::mem::take(&mut self.window_hist);
+            }
+        }
+    }
+
+    /// Access-mass overlap between the current and previous windows: the
+    /// Bhattacharyya-free overlap coefficient Σ min(pᵢ, qᵢ) over the two
+    /// normalised histograms. 1.0 means the same models got the same
+    /// shares; a working-set slide pushes it down even when no model is
+    /// new to the frequency table. `None` until two windows exist.
+    fn window_overlap(&self) -> Option<f64> {
+        if self.prev_hist.is_empty() || self.window_hist.is_empty() {
+            return None;
+        }
+        let cur_total: u64 = self.window_hist.values().sum();
+        let prev_total: u64 = self.prev_hist.values().sum();
+        let mut overlap = 0.0;
+        for (model, &n) in &self.window_hist {
+            let p = n as f64 / cur_total as f64;
+            let q = self.prev_hist.get(model).copied().unwrap_or(0) as f64 / prev_total as f64;
+            overlap += p.min(q);
+        }
+        Some(overlap)
+    }
+
+    /// Auto-tuning regime switch; see [`TinyLfuEvictor::auto`]. Churn is
+    /// either population turnover (novelty: models re-entering the table
+    /// after aging out) or mass turnover (an overlap *dip*: the working
+    /// set sliding inside a stable model population). A slide is an event,
+    /// not a state — between slides the distribution looks placid — so one
+    /// churn signal latches the churn parameters until
+    /// [`AUTO_STABLE_WINDOWS`] consecutive quiet windows release them.
+    /// The first boundary (`overlap == None`) never retunes: cold-start
+    /// novelty is compulsory, not evidence of churn.
+    fn retune(&mut self, novelty: f64, overlap: Option<f64>) {
+        let Some(overlap) = overlap else { return };
+        if novelty >= AUTO_HIGH_NOVELTY || overlap <= AUTO_LOW_OVERLAP {
+            self.stable_streak = 0;
+            (self.decay, self.window, self.front) = AUTO_CHURN_PARAMS;
+        } else if novelty <= AUTO_LOW_NOVELTY && overlap >= AUTO_HIGH_OVERLAP {
+            self.stable_streak += 1;
+            if self.stable_streak >= AUTO_STABLE_WINDOWS {
+                self.decay = DEFAULT_DECAY;
+                self.window = DEFAULT_WINDOW;
+                self.front = DEFAULT_FRONT;
+            }
+        } else {
+            // Ambiguous window: keep the current set, reset the streak.
+            self.stable_streak = 0;
         }
     }
 }
@@ -332,6 +462,61 @@ mod tests {
     #[should_panic(expected = "decay must be in (0, 1)")]
     fn rejects_out_of_range_decay() {
         TinyLfuEvictor::new(1.0);
+    }
+
+    #[test]
+    fn auto_switches_to_churn_params_under_high_novelty() {
+        let mut e = TinyLfuEvictor::auto();
+        assert!(e.is_auto());
+        assert_eq!(e.front(), DEFAULT_FRONT);
+        // Every access is a never-seen model: novelty rate 1.0 and zero
+        // overlap between consecutive windows. The first boundary never
+        // retunes (cold-start novelty is compulsory), the second latches.
+        e.attach_gpu(G0);
+        for i in 0..2 * DEFAULT_WINDOW as u32 {
+            e.on_hit(G0, ModelId(i));
+        }
+        let (_, _, churn_front) = AUTO_CHURN_PARAMS;
+        assert_eq!(e.front(), churn_front, "churn regime enables the window");
+        assert_eq!(e.window, AUTO_CHURN_PARAMS.1);
+    }
+
+    #[test]
+    fn auto_returns_to_defaults_under_stable_traffic() {
+        let mut e = TinyLfuEvictor::auto();
+        e.attach_gpu(G0);
+        // Two all-novel windows latch the churn set…
+        for i in 0..2 * DEFAULT_WINDOW as u32 {
+            e.on_hit(G0, ModelId(i));
+        }
+        assert_eq!(e.front(), AUTO_CHURN_PARAMS.2);
+        // …and one quiet window must NOT release it: the latch only
+        // opens after a sustained stable streak. (The first repeat window
+        // still compares against the churn window — overlap 0 — so it
+        // re-signals churn; the streak starts on the next one.)
+        for _ in 0..AUTO_CHURN_PARAMS.1 {
+            e.on_hit(G0, A);
+        }
+        assert_eq!(e.front(), AUTO_CHURN_PARAMS.2, "one quiet window unlatched");
+        // After the transition window plus AUTO_STABLE_WINDOWS identical
+        // repeat-traffic windows, the defaults return.
+        for _ in 0..(1 + AUTO_STABLE_WINDOWS as u64) * AUTO_CHURN_PARAMS.1 {
+            e.on_hit(G0, A);
+        }
+        assert_eq!(e.front(), DEFAULT_FRONT);
+        assert_eq!(e.window, DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn fixed_specs_never_retune() {
+        let mut e = TinyLfuEvictor::new(0.5).with_window(8);
+        e.attach_gpu(G0);
+        for i in 0..64u32 {
+            e.on_hit(G0, ModelId(i)); // pure novelty
+        }
+        assert!(!e.is_auto());
+        assert_eq!(e.front(), DEFAULT_FRONT);
+        assert_eq!(e.window, 8);
     }
 
     #[test]

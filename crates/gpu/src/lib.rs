@@ -59,3 +59,37 @@ impl std::fmt::Display for ModelId {
 
 /// Bytes in one mebibyte; Table I sizes are given in MB (interpreted MiB).
 pub const MIB: u64 = 1024 * 1024;
+
+/// One level of the model-storage hierarchy a load is served from.
+///
+/// Tier 0 is device HBM (residency — a cache hit, no load at all); higher
+/// numbers are further from the silicon and slower to serve. The default
+/// stack used by `gfaas-store` is HBM ↔ host RAM ↔ origin (SSD/remote),
+/// but the newtype supports arbitrarily deep stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tier(pub u8);
+
+impl Tier {
+    /// Device HBM — the serving tier of a resident (cache-hit) model.
+    pub const HBM: Tier = Tier(0);
+    /// Host RAM — a demoted or prefetched model, one PCIe hop away.
+    pub const HOST: Tier = Tier(1);
+    /// The origin store (SSD/remote) — a fully cold model.
+    pub const ORIGIN: Tier = Tier(2);
+
+    /// Short human-readable label ("hbm" / "host" / "origin" / "tierN").
+    pub fn label(&self) -> std::borrow::Cow<'static, str> {
+        match self.0 {
+            0 => "hbm".into(),
+            1 => "host".into(),
+            2 => "origin".into(),
+            n => format!("tier{n}").into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}

@@ -13,7 +13,7 @@
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use gfaas_gpu::{GpuId, ModelId};
+use gfaas_gpu::{GpuId, ModelId, Tier};
 use gfaas_sim::time::{SimDuration, SimTime};
 
 use crate::{Arm, ObsEvent, Recorder};
@@ -51,6 +51,9 @@ pub struct LedgerRow {
     pub completed: bool,
     /// Whether it blew the configured SLO (always false without one).
     pub slo_miss: bool,
+    /// Storage tier the serving invocation's load was fed from; `None`
+    /// for cache hits (no load happened).
+    pub tier: Option<Tier>,
     /// When this request joined its serving invocation.
     join: Option<SimTime>,
 }
@@ -73,6 +76,7 @@ impl LedgerRow {
             latency: SimDuration::ZERO,
             completed: false,
             slo_miss: false,
+            tier: None,
             join: None,
         }
     }
@@ -97,6 +101,7 @@ struct GpuSpan {
     infer_start: Option<SimTime>,
     batch: u64,
     hit: bool,
+    tier: Option<Tier>,
 }
 
 /// Average segment decomposition over completed rows.
@@ -179,10 +184,13 @@ impl Ledger {
             ObsEvent::Dispatch { gpu, hit, .. } => {
                 self.span_mut(gpu).hit = hit;
             }
-            ObsEvent::LoadStart { gpu, batch, .. } => {
+            ObsEvent::LoadStart {
+                gpu, batch, tier, ..
+            } => {
                 let span = self.span_mut(gpu);
                 span.load_start = Some(t);
                 span.batch = batch;
+                span.tier = Some(tier);
             }
             ObsEvent::LoadComplete { gpu, .. } => {
                 self.span_mut(gpu).load_end = Some(t);
@@ -216,6 +224,7 @@ impl Ledger {
                     row.latency = latency;
                     row.batch = span.batch;
                     row.hit = span.hit;
+                    row.tier = span.tier;
                     row.completed = true;
                     self.completed += 1;
                 }
@@ -299,13 +308,14 @@ impl Ledger {
         let mut out = String::with_capacity(64 + self.rows.len() * 96);
         out.push_str(
             "request,model,gpu,batch,arm,hit,retries,completed,slo_miss,\
-             arrival_s,queued_s,hold_s,load_s,infer_s,latency_s\n",
+             arrival_s,queued_s,hold_s,load_s,infer_s,latency_s,tier\n",
         );
         for r in &self.rows {
             let gpu = r.gpu.map(|g| g.0 as i64).unwrap_or(-1);
             let arm = r.arm.map(|a| a.as_str()).unwrap_or("-");
+            let tier = r.tier.map(|t| t.label()).unwrap_or("-".into());
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
                 r.req,
                 r.model.0,
                 gpu,
@@ -321,6 +331,7 @@ impl Ledger {
                 r.load.as_secs_f64(),
                 r.infer.as_secs_f64(),
                 r.latency.as_secs_f64(),
+                tier,
             ));
         }
         out
@@ -445,9 +456,18 @@ mod tests {
                 gpu: g,
                 model: m,
                 batch: 7,
+                tier: Tier::ORIGIN,
             },
         );
-        ev(&mut l, 900, ObsEvent::LoadComplete { gpu: g, model: m });
+        ev(
+            &mut l,
+            900,
+            ObsEvent::LoadComplete {
+                gpu: g,
+                model: m,
+                tier: Tier::ORIGIN,
+            },
+        );
         ev(
             &mut l,
             900,
@@ -500,6 +520,7 @@ mod tests {
         assert_eq!(lead.arm, Some(Arm::Miss));
         assert_eq!(lead.batch, 7);
         assert!(!lead.hit);
+        assert_eq!(lead.tier, Some(Tier::ORIGIN));
 
         let rider = l.rows()[1];
         assert_eq!(rider.queued, SimDuration::from_micros(20));
@@ -561,6 +582,7 @@ mod tests {
         assert_eq!(row.load, SimDuration::ZERO);
         assert_eq!(row.infer, SimDuration::from_micros(100));
         assert_eq!(row.segments_sum(), row.latency);
+        assert_eq!(row.tier, None, "hits never loaded, so no tier");
     }
 
     #[test]
@@ -672,6 +694,7 @@ mod tests {
                 gpu: g,
                 model: m,
                 batch: 3,
+                tier: Tier::HOST,
             },
         );
         // Rider arrives and joins while the load is in flight.
@@ -686,7 +709,15 @@ mod tests {
         );
         ev(&mut l, 500, ObsEvent::Join { req: 1, gpu: g });
         ev(&mut l, 500, ObsEvent::LoadRiders { gpu: g, joined: 1 });
-        ev(&mut l, 1000, ObsEvent::LoadComplete { gpu: g, model: m });
+        ev(
+            &mut l,
+            1000,
+            ObsEvent::LoadComplete {
+                gpu: g,
+                model: m,
+                tier: Tier::HOST,
+            },
+        );
         ev(
             &mut l,
             1000,
@@ -714,6 +745,7 @@ mod tests {
         assert_eq!(rider.load, SimDuration::from_micros(500));
         assert_eq!(rider.infer, SimDuration::from_micros(300));
         assert_eq!(rider.segments_sum(), rider.latency);
+        assert_eq!(rider.tier, Some(Tier::HOST));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod sampler;
 use std::fmt;
 use std::str::FromStr;
 
-use gfaas_gpu::{GpuId, ModelId};
+use gfaas_gpu::{GpuId, ModelId, Tier};
 use gfaas_sim::time::{SimDuration, SimTime};
 
 /// Which arm of the paper's Algorithm 2 a request was resolved by.
@@ -203,6 +203,9 @@ pub enum ObsEvent<'a> {
         model: ModelId,
         /// Invocation sequence number.
         batch: u64,
+        /// Storage tier the bytes are served from ([`Tier::ORIGIN`]
+        /// under the flat store, host or origin under a tiered one).
+        tier: Tier,
     },
     /// A model upload finished.
     LoadComplete {
@@ -210,6 +213,8 @@ pub enum ObsEvent<'a> {
         gpu: GpuId,
         /// Model now resident.
         model: ModelId,
+        /// Storage tier the bytes were served from.
+        tier: Tier,
     },
     /// Requests joined a batch while its model was still loading.
     LoadRiders {

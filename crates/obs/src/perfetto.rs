@@ -447,9 +447,17 @@ mod tests {
                 gpu: g,
                 model: m,
                 batch: 1,
+                tier: gfaas_gpu::Tier::ORIGIN,
             },
         );
-        rec.record(t(500), &ObsEvent::LoadComplete { gpu: g, model: m });
+        rec.record(
+            t(500),
+            &ObsEvent::LoadComplete {
+                gpu: g,
+                model: m,
+                tier: gfaas_gpu::Tier::ORIGIN,
+            },
+        );
         rec.record(
             t(500),
             &ObsEvent::InferStart {
