@@ -1,0 +1,18 @@
+// Fixture: rule `float-ord`. Never compiled — read as text by
+// tests/fixtures.rs and linted under a virtual deterministic-crate path.
+
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 5: finding
+    xs.sort_by(|a, b| a.total_cmp(b)); // total order: fine
+}
+
+struct ByScore {
+    table: std::collections::BTreeMap<f64, u32>, // line 10: finding (float key)
+}
+
+impl PartialOrd for ByScore {
+    // Definitions are exempt: delegating to `Ord` is the fix, not the bug.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: rule `hash-iter`. Never compiled — read as text by
+// tests/fixtures.rs and linted under a virtual deterministic-crate path.
+
+use std::collections::HashMap; // line 4: finding
+use std::collections::BTreeMap; // fine
+
+fn tally(names: &[String]) -> usize {
+    let mut seen = std::collections::HashSet::new(); // line 8: finding
+    for n in names {
+        seen.insert(n.clone());
+    }
+    // gfaas-lint: allow(hash-iter, lookup-only scratch map, dropped before any iteration)
+    let scratch: HashMap<u32, u32> = HashMap::new(); // waived by line 12
+    let stable: BTreeMap<u32, u32> = BTreeMap::new();
+    let _ = (scratch.len(), stable.len());
+    // "HashMap" in a string or in this comment must not fire.
+    let _ = "HashMap<String, String>";
+    seen.len()
+}

@@ -1,0 +1,12 @@
+// Fixture: rule `no-unsafe`. Never compiled — read as text by
+// tests/fixtures.rs; the rule fires in every crate, no scoping.
+
+fn sneaky(xs: &[u64], i: usize) -> u64 {
+    unsafe { *xs.get_unchecked(i) } // line 5: finding
+}
+
+fn fine(xs: &[u64], i: usize) -> u64 {
+    // The word unsafe in a comment or "unsafe" in a string is fine.
+    let _ = "unsafe";
+    xs[i]
+}

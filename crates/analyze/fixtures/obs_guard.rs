@@ -1,0 +1,26 @@
+// Fixture: rule `obs-guard`. Never compiled — read as text by
+// tests/fixtures.rs and linted under a virtual crates/core path.
+
+impl Cluster {
+    fn good(&mut self) {
+        if self.recorder.is_some() {
+            self.emit(ObsEvent::Arrival { req: 1 }); // guarded: fine
+        }
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(self.now, &ObsEvent::QueueDepth { len: 3 }); // guarded: fine
+        }
+    }
+
+    fn bad(&mut self) {
+        self.emit(ObsEvent::Arrival { req: 2 }); // line 15: finding
+        let armed = self.recorder.is_some(); // the `;` disarms the guard
+        if armed {
+            self.emit(ObsEvent::Completion { req: 2 }); // line 18: finding
+        }
+    }
+
+    // Type positions are not constructors: no finding.
+    fn emit(&mut self, ev: ObsEvent<'_>) {
+        let _ = ev;
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: waiver parsing. Never compiled — read as text by
+// tests/fixtures.rs and linted under a virtual deterministic-crate path.
+
+// gfaas-lint: allow(no-such-rule, this rule does not exist)
+fn a() {} // the waiver on line 4 is a bad-waiver error (unknown rule)
+
+// gfaas-lint: allow(hash-iter)
+fn b() {} // the waiver on line 7 is a bad-waiver error (missing reason)
+
+// gfaas-lint: allow(wall-clock, "")
+fn c() {} // the waiver on line 10 is a bad-waiver error (empty reason)
+
+// gfaas-lint: allow(hash-iter, the map below was replaced by a Vec last release)
+fn d() {} // the waiver on line 13 is an unused-waiver warning
+
+fn e() {
+    // gfaas-lint: allow(wall-clock, boot banner timestamp only - never reaches sim state)
+    let _t = std::time::Instant::now(); // waived by line 17 (covers the next line)
+}

@@ -1,0 +1,17 @@
+// Fixture: rule `wall-clock`. Never compiled — read as text by
+// tests/fixtures.rs and linted under a virtual non-allowlisted path.
+
+use std::time::Instant; // line 4: finding
+
+fn measure() -> u128 {
+    let t0 = Instant::now(); // line 7: finding
+    busy();
+    let wall = std::time::SystemTime::now(); // line 9: finding
+    let _ = wall;
+    t0.elapsed().as_micros()
+}
+
+fn busy() {
+    // Mentioning Instant in a comment or "SystemTime" in a string is fine.
+    let _ = "SystemTime";
+}

@@ -1,0 +1,85 @@
+//! `gfaas-lint` — run the determinism rule catalogue over the workspace.
+//!
+//! ```text
+//! gfaas-lint [--root <dir>] [--deny-all] [--rules]
+//! ```
+//!
+//! * `--root <dir>` — workspace root to scan (default: current directory).
+//! * `--deny-all`   — CI mode: warnings fail the run too.
+//! * `--rules`      — print the rule catalogue and exit.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage error. Diagnostics go to
+//! stdout as `file:line: severity[rule]: message`, sorted by path and
+//! line so output is diffable across runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gfaas_analyze::rules::RULES;
+use gfaas_analyze::{lint_workspace, Severity};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage("--root needs a directory"),
+            },
+            "--deny-all" => deny_all = true,
+            "--rules" | "--list-rules" => {
+                for r in RULES {
+                    println!("{:<10} {:<8} {}", r.id, r.severity.to_string(), r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: gfaas-lint [--root <dir>] [--deny-all] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gfaas-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files == 0 {
+        // A vacuous pass is a misconfiguration (wrong --root, CI running
+        // in the wrong directory), never a clean workspace.
+        eprintln!(
+            "gfaas-lint: no Rust sources found under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.diagnostics.len() - errors;
+    println!(
+        "gfaas-lint: {} files checked, {errors} errors, {warnings} warnings{}",
+        report.files,
+        if deny_all { " (--deny-all)" } else { "" }
+    );
+    if report.failures(deny_all) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("gfaas-lint: {why}\nusage: gfaas-lint [--root <dir>] [--deny-all] [--rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,344 @@
+//! Drives the rule catalogue over source files and the workspace tree,
+//! applying inline waivers and producing ordered diagnostics.
+//!
+//! # Waivers
+//!
+//! A finding is suppressed by a line comment of the form
+//! `gfaas-lint: allow(<rule>, <reason>)` on the same line or the line
+//! directly above. The reason is **mandatory** — a waiver is a claim
+//! ("these floats are provably finite") and the claim must be written
+//! down. Two meta-diagnostics keep waivers honest:
+//!
+//! * `bad-waiver` (error): the comment names an unknown rule, or the
+//!   reason is missing/empty — a malformed waiver silently suppressing
+//!   nothing is worse than no waiver.
+//! * `unused-waiver` (warning): the waiver matched no finding, i.e. the
+//!   code it excused has since been fixed or moved; delete it.
+//!
+//! Prose that merely *mentions* the syntax (like this doc comment) is
+//! not a waiver: the comment body must start with the `gfaas-lint:` tag
+//! itself, so backtick-quoted mentions never parse.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::rules::{rule, FileCtx, Severity, RULES};
+
+/// Pseudo-rule id for malformed waiver comments.
+pub const BAD_WAIVER: &str = "bad-waiver";
+/// Pseudo-rule id for waivers that suppressed nothing.
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// One reportable problem: a rule finding that survived waivers, or a
+/// waiver meta-diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id ([`BAD_WAIVER`] / [`UNUSED_WAIVER`] for meta-diagnostics).
+    pub rule: &'static str,
+    /// Severity after waiver processing.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.path, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Diagnostics ordered by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Number of diagnostics that fail the run: errors always, warnings
+    /// too under `--deny-all`.
+    pub fn failures(&self, deny_all: bool) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| deny_all || d.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// A parsed waiver comment.
+struct Waiver {
+    line: u32,
+    rule: &'static str,
+    used: bool,
+}
+
+/// Classifies a workspace-relative path into the crate short name used
+/// for rule scoping: `crates/<name>/…` maps to `<name>`; the umbrella
+/// package's own `src`/`tests`/`examples` map to `gfaas`.
+pub fn crate_of(rel: &str) -> &str {
+    match rel.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("gfaas"),
+        None => "gfaas",
+    }
+}
+
+/// Lints one source file. `rel` is the workspace-relative path; it
+/// selects which rules apply (see [`crate_of`]), so tests can exercise
+/// crate-scoped rules on virtual paths without touching the filesystem.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let all = tokenize(src);
+    let mut waivers = Vec::new();
+    let mut diags = Vec::new();
+    for t in &all {
+        if t.kind == TokKind::LineComment {
+            parse_waiver(rel, t, &mut waivers, &mut diags);
+        }
+    }
+    let sig: Vec<Tok<'_>> = all
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .cloned()
+        .collect();
+    let ctx = FileCtx {
+        rel,
+        krate: crate_of(rel),
+        toks: &sig,
+    };
+    for r in RULES {
+        for f in r.check(&ctx) {
+            let waived = waivers
+                .iter_mut()
+                .find(|w| w.rule == r.id && (w.line == f.line || w.line + 1 == f.line));
+            match waived {
+                Some(w) => w.used = true,
+                None => diags.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: f.line,
+                    rule: r.id,
+                    severity: r.severity,
+                    message: f.message,
+                }),
+            }
+        }
+    }
+    for w in &waivers {
+        if !w.used {
+            diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: w.line,
+                rule: UNUSED_WAIVER,
+                severity: Severity::Warn,
+                message: format!(
+                    "waiver for `{}` suppressed nothing: the code it excused is gone — delete it",
+                    w.rule
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Parses one line comment as a potential waiver. Anything that starts
+/// with the `gfaas-lint:` tag must parse fully or it becomes a
+/// `bad-waiver` error; anything else is ignored prose.
+fn parse_waiver(rel: &str, t: &Tok<'_>, waivers: &mut Vec<Waiver>, diags: &mut Vec<Diagnostic>) {
+    // Comment body arrives without the leading `//`; doc comments carry
+    // one extra `/` or `!`, which is not a tag start either way.
+    let body = t.text.trim_start_matches(['/', '!']).trim_start();
+    let Some(rest) = body.strip_prefix("gfaas-lint:") else {
+        return;
+    };
+    let mut bad = |why: &str| {
+        diags.push(Diagnostic {
+            path: rel.to_string(),
+            line: t.line,
+            rule: BAD_WAIVER,
+            severity: Severity::Error,
+            message: format!(
+                "malformed waiver ({why}): expected `gfaas-lint: allow(<rule>, <reason>)`"
+            ),
+        });
+    };
+    let rest = rest.trim();
+    let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|s| s.strip_suffix(')'))
+    else {
+        bad("not an `allow(…)` form");
+        return;
+    };
+    let Some((rule_id, reason)) = inner.split_once(',') else {
+        bad("missing reason");
+        return;
+    };
+    let reason = reason.trim().trim_matches('"').trim();
+    if reason.is_empty() {
+        bad("empty reason");
+        return;
+    }
+    match rule(rule_id.trim()) {
+        Some(r) => waivers.push(Waiver {
+            line: t.line,
+            rule: r.id,
+            used: false,
+        }),
+        None => bad(&format!("unknown rule `{}`", rule_id.trim())),
+    }
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file under
+/// `crates/*/{src,tests,examples,benches}` plus the umbrella package's
+/// own `src`/`tests`/`examples`. The vendored `third_party/` stand-ins,
+/// `target/`, and non-source data (e.g. `crates/analyze/fixtures/`)
+/// are outside those trees and therefore never scanned.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    const SOURCE_DIRS: &[&str] = &["src", "tests", "examples", "benches"];
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            for d in SOURCE_DIRS {
+                collect_rs(&m.join(d), &mut files)?;
+            }
+        }
+    }
+    for d in &["src", "tests", "examples"] {
+        collect_rs(&root.join(d), &mut files)?;
+    }
+    let mut report = Report::default();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.diagnostics.extend(lint_source(&rel, &src));
+        report.files += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order (the
+/// diagnostic order must not depend on directory-entry order).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_classifies_paths() {
+        assert_eq!(crate_of("crates/core/src/cluster.rs"), "core");
+        assert_eq!(crate_of("crates/sim/tests/det.rs"), "sim");
+        assert_eq!(crate_of("src/lib.rs"), "gfaas");
+        assert_eq!(crate_of("examples/demo.rs"), "gfaas");
+    }
+
+    #[test]
+    fn waiver_suppresses_same_and_next_line() {
+        let tag = "gfaas-lint:";
+        let src = format!(
+            "// {tag} allow(hash-iter, \"lookup-only, never iterated\")\nuse std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();"
+        );
+        let diags = lint_source("crates/core/src/x.rs", &src);
+        // Line 2 is covered by the waiver on line 1; line 3 is not.
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].rule, diags[0].line), ("hash-iter", 3));
+    }
+
+    #[test]
+    fn waiver_on_same_line_works() {
+        let tag = "gfaas-lint:";
+        let src = format!(
+            "let c = a.partial_cmp(&b); // {tag} allow(float-ord, operands are percentiles in [0, 100])"
+        );
+        assert!(lint_source("crates/sim/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn waiver_requires_known_rule_and_reason() {
+        let tag = "gfaas-lint:";
+        let unknown = format!("// {tag} allow(no-such-rule, because)\n");
+        let d = lint_source("crates/core/src/x.rs", &unknown);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].severity), (BAD_WAIVER, Severity::Error));
+        assert!(d[0].message.contains("no-such-rule"));
+
+        let no_reason = format!("// {tag} allow(hash-iter)\nuse std::collections::HashMap;");
+        let d = lint_source("crates/core/src/x.rs", &no_reason);
+        assert!(d.iter().any(|d| d.rule == BAD_WAIVER));
+        // The malformed waiver suppresses nothing: the finding survives.
+        assert!(d.iter().any(|d| d.rule == "hash-iter"));
+
+        let empty = format!("// {tag} allow(hash-iter, \"\")\n");
+        let d = lint_source("crates/core/src/x.rs", &empty);
+        assert_eq!(d[0].rule, BAD_WAIVER);
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let tag = "gfaas-lint:";
+        let src = format!("// {tag} allow(wall-clock, startup banner only)\nlet x = 1;");
+        let d = lint_source("crates/sim/src/x.rs", &src);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].severity), (UNUSED_WAIVER, Severity::Warn));
+    }
+
+    #[test]
+    fn prose_mentions_of_the_tag_do_not_parse() {
+        // Backtick-quoted syntax in docs starts with a backtick, not the
+        // tag, so it is ignored — this file's own docs depend on that.
+        let src = "/// Waive with `gfaas-lint: allow(rule, reason)` comments.\nfn f() {}";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deny_all_promotes_warnings_to_failures() {
+        let src = "let c = a.partial_cmp(&b);";
+        let diags = lint_source("crates/sim/src/x.rs", src);
+        let report = Report {
+            diagnostics: diags,
+            files: 1,
+        };
+        assert_eq!(report.failures(false), 0);
+        assert_eq!(report.failures(true), 1);
+    }
+}

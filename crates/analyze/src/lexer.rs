@@ -1,0 +1,394 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! rule engine: identifiers, punctuation, literals, and comments, each
+//! tagged with its 1-based source line.
+//!
+//! This is *not* a parser. The rules in [`crate::rules`] work on token
+//! sequences (so string literals and comments can never produce false
+//! positives) plus brace-depth tracking for the one rule that needs
+//! lexical scope (`obs-guard` in [`crate::rules`]). The scanner understands
+//! everything that could otherwise derail a token stream: nested block
+//! comments, raw strings (`r#"…"#`), byte strings, char literals vs
+//! lifetimes, and numeric literals with type suffixes (`1.0f64` is one
+//! `Num` token, so the `f64` suffix can never look like a type).
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// A single punctuation byte (`{`, `}`, `:`, `.`, …).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Numeric literal, including any type suffix (`1_000`, `0xff`,
+    /// `2.5e3`, `1.0f64`).
+    Num,
+    /// `// …` comment (doc comments included); `text` holds the body
+    /// after the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested); `text` holds the body.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Lexical class.
+    pub kind: TokKind,
+    /// The token's text (for comments: the body without delimiters).
+    pub text: &'a str,
+}
+
+/// Tokenizes `src`. The scanner never fails: anything unrecognised
+/// becomes a single-byte [`TokKind::Punct`], and unterminated literals
+/// or comments simply run to end-of-file. Malformed input therefore
+/// degrades to extra punctuation, never to a panic — a linter must not
+/// crash on the code it is criticising.
+pub fn tokenize(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::LineComment,
+                    text: &src[start..j],
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let tok_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = if depth == 0 { j - 2 } else { j };
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::BlockComment,
+                    text: &src[start..end],
+                });
+                i = j;
+            }
+            b'"' => {
+                let tok_line = line;
+                let (j, nl) = scan_string(b, i + 1);
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                    text: &src[i..j],
+                });
+                line += nl;
+                i = j;
+            }
+            b'r' | b'b' if raw_string_hashes(b, i).is_some() => {
+                let tok_line = line;
+                let (j, nl) = scan_raw_string(b, i);
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                    text: &src[i..j],
+                });
+                line += nl;
+                i = j;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let tok_line = line;
+                let (j, nl) = scan_string(b, i + 2);
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                    text: &src[i..j],
+                });
+                line += nl;
+                i = j;
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                let j = scan_char(b, i + 2);
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Char,
+                    text: &src[i..j],
+                });
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime iff an identifier follows and is *not* closed
+                // by another quote (`'a'` is a char, `'a` a lifetime).
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                if j > i + 1 && b.get(j) != Some(&b'\'') {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                        text: &src[i..j],
+                    });
+                    i = j;
+                } else {
+                    let j = scan_char(b, i + 1);
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                        text: &src[i..j],
+                    });
+                    i = j;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: &src[i..j],
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // One fractional/exponent part; `1..n` must leave `..`
+                // alone, so the dot is consumed only before a digit.
+                if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                    j += 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                }
+                // `2.5e-3` / `1e+9`: the sign after an exponent `e`.
+                if j < b.len()
+                    && (b[j] == b'+' || b[j] == b'-')
+                    && (b[j - 1] == b'e' || b[j - 1] == b'E')
+                    && b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    j += 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                    text: &src[i..j],
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct,
+                    text: &src[i..i + 1],
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"`, …),
+/// returns the number of `#` marks.
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Scans past a `"…"` body starting *after* the opening quote; returns
+/// (index past the closing quote, newlines crossed).
+fn scan_string(b: &[u8], mut j: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, nl),
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans a whole raw string starting at its `r`/`b`; returns (index past
+/// the closing delimiter, newlines crossed).
+fn scan_raw_string(b: &[u8], i: usize) -> (usize, u32) {
+    let hashes = raw_string_hashes(b, i).expect("caller checked the opener");
+    let mut j = i;
+    while b[j] != b'"' {
+        j += 1;
+    }
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+        } else if b[j] == b'"' && b[j + 1..].iter().take(hashes).all(|&c| c == b'#') {
+            return (j + 1 + hashes, nl);
+        } else {
+            j += 1;
+        }
+    }
+    (j, nl)
+}
+
+/// Scans past a char-literal body starting *after* the opening quote.
+fn scan_char(b: &[u8], mut j: usize) -> usize {
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            b'\n' => return j, // unterminated; stop at the line break
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("use std::collections::HashMap;");
+        assert_eq!(ts[0], (TokKind::Ident, "use"));
+        assert!(ts.contains(&(TokKind::Ident, "HashMap")));
+        assert_eq!(ts.last().unwrap(), &(TokKind::Punct, ";"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ts = kinds(r#"let s = "HashMap unsafe Instant";"#);
+        assert!(!ts.contains(&(TokKind::Ident, "HashMap")));
+        assert_eq!(ts.iter().filter(|t| t.0 == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let ts = kinds(r##"let s = r#"un "safe" HashMap"#; let b = b"unsafe";"##);
+        assert!(!ts.iter().any(|t| t.0 == TokKind::Ident && t.1 == "unsafe"));
+        assert_eq!(ts.iter().filter(|t| t.0 == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_separate_kinds() {
+        let ts = kinds("// line HashMap\n/* block\nunsafe */ fn x() {}");
+        assert_eq!(ts[0], (TokKind::LineComment, " line HashMap"));
+        assert_eq!(ts[1], (TokKind::BlockComment, " block\nunsafe "));
+        assert!(!ts.iter().any(|t| t.0 == TokKind::Ident && t.1 == "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let ts = kinds("/* a /* b */ c */ fn");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1], (TokKind::Ident, "fn"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ts = kinds(r"let c = 'x'; let e = '\n'; fn f<'a>(x: &'a str) {}");
+        assert_eq!(ts.iter().filter(|t| t.0 == TokKind::Char).count(), 2);
+        assert_eq!(
+            ts.iter().filter(|t| t.0 == TokKind::Lifetime).count(),
+            2,
+            "'a appears twice"
+        );
+    }
+
+    #[test]
+    fn numeric_suffixes_absorb_float_types() {
+        let ts = kinds("let x = 1.0f64 + 2e-3 + 0xff_u8; let r = 1..n;");
+        assert!(
+            !ts.iter().any(|t| t.0 == TokKind::Ident && t.1 == "f64"),
+            "suffix must not look like a type"
+        );
+        assert!(ts.contains(&(TokKind::Num, "1.0f64")));
+        assert!(ts.contains(&(TokKind::Num, "2e-3")));
+        assert!(ts.contains(&(TokKind::Num, "1")));
+        assert!(ts.contains(&(TokKind::Ident, "n")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "fn a() {}\n/* two\nlines */\nfn b() {}\nlet s = \"x\ny\";\nfn c() {}";
+        let ts = tokenize(src);
+        let line_of = |name: &str| {
+            ts.iter()
+                .find(|t| t.kind == TokKind::Ident && t.text == name)
+                .unwrap()
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 7);
+    }
+
+    #[test]
+    fn garbage_degrades_to_puncts() {
+        // Unterminated string, stray bytes: no panic, tokens still come out.
+        let ts = tokenize("let x = \"unterminated\nfn y @ $");
+        assert!(!ts.is_empty());
+    }
+}

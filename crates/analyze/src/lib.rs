@@ -1,0 +1,22 @@
+//! `gfaas-analyze` — offline static analysis for the workspace.
+//!
+//! The simulator's headline property is byte-identical seeded runs, and
+//! most ways to lose that property (hash-order iteration, wall-clock
+//! reads, NaN-partial float orderings, unguarded observability emits)
+//! compile cleanly and pass every test until a platform or allocator
+//! change flips an ordering. This crate is the tripwire: a hand-rolled
+//! Rust scanner ([`lexer`]) feeds a small catalogue of conservative
+//! token-pattern rules ([`rules`]) driven over the workspace by
+//! [`engine`], with `file:line` diagnostics, per-rule severities,
+//! inline waivers that must carry a written reason, and a `--deny-all`
+//! CI mode. See the `gfaas-lint` binary for the command-line surface.
+//!
+//! Deliberately dependency-free: the linter gates the rest of the
+//! workspace, so nothing in the workspace may gate the linter.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{crate_of, lint_source, lint_workspace, Diagnostic, Report};
+pub use rules::{Severity, DETERMINISTIC_CRATES, RULES};

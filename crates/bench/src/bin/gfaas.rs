@@ -22,7 +22,7 @@
 //! JSON, `--ledger-out` the per-request lifecycle CSV, and
 //! `--series-out` the sampled time-series CSV.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gfaas_bench::{
     paper_policies, parse_cli_spec, parse_cli_store, SpecKind, TablePrinter, WORKING_SETS,
@@ -48,8 +48,8 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
@@ -65,7 +65,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+fn get<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, default: T) -> T {
     match flags.get(key) {
         Some(v) => v.parse().unwrap_or_else(|_| {
             eprintln!("bad value for --{key}: {v:?}");
@@ -84,7 +84,7 @@ fn cli_spec(s: &str, kind: SpecKind) -> PolicySpec {
 
 /// Resolves `--policy` (any registered scheduler spec) with the legacy
 /// `--o3-limit N` flag folded in as `lalbo3:N` for the LALB family.
-fn policy_of(flags: &HashMap<String, String>) -> PolicySpec {
+fn policy_of(flags: &BTreeMap<String, String>) -> PolicySpec {
     let mut raw = flags
         .get("policy")
         .map(String::as_str)
@@ -103,7 +103,7 @@ fn policy_of(flags: &HashMap<String, String>) -> PolicySpec {
 }
 
 /// Resolves `--replacement` against the registry (default `lru`).
-fn replacement_of(flags: &HashMap<String, String>) -> PolicySpec {
+fn replacement_of(flags: &BTreeMap<String, String>) -> PolicySpec {
     cli_spec(
         flags
             .get("replacement")
@@ -114,7 +114,7 @@ fn replacement_of(flags: &HashMap<String, String>) -> PolicySpec {
 }
 
 /// Resolves `--store` against the registry (default `flat`).
-fn store_of(flags: &HashMap<String, String>) -> gfaas_core::StoreSpec {
+fn store_of(flags: &BTreeMap<String, String>) -> gfaas_core::StoreSpec {
     parse_cli_store(flags.get("store").map(String::as_str).unwrap_or("flat")).unwrap_or_else(|e| {
         eprintln!("{e}");
         usage();
@@ -148,7 +148,7 @@ fn write_file(path: &str, contents: &str, what: &str) {
     eprintln!("wrote {what} to {path}");
 }
 
-fn cmd_run(flags: HashMap<String, String>) {
+fn cmd_run(flags: BTreeMap<String, String>) {
     let policy = policy_of(&flags);
     let replacement = replacement_of(&flags);
     let store = store_of(&flags);
@@ -300,7 +300,7 @@ fn cmd_profile() {
     }
 }
 
-fn cmd_trace(flags: HashMap<String, String>) {
+fn cmd_trace(flags: BTreeMap<String, String>) {
     let ws: usize = get(&flags, "ws", 25);
     let seed: u64 = get(&flags, "seed", 11);
     let trace = AzureTraceConfig::paper(ws, seed).generate();

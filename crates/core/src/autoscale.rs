@@ -211,6 +211,7 @@ impl AutoscaleSpec {
             )));
         }
         // NaN must fail too, hence the negated comparison shape.
+        // gfaas-lint: allow(float-ord, NaN-rejecting validation - partial_cmp returning None deliberately fails the check)
         if self.cadence_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(AutoscaleError::BadBounds("cadence must be positive".into()));
         }

@@ -53,6 +53,8 @@ use crate::metrics::{MetricsCollector, RunMetrics};
 use crate::policy::{PolicyRegistry, PolicySpec};
 use crate::request::Request;
 use crate::scheduler::{Dispatch, SchedulerPolicy};
+#[cfg(feature = "simcheck")]
+use crate::simcheck::SimChecker;
 
 /// Discrete events driving the cluster.
 ///
@@ -151,6 +153,14 @@ pub struct Cluster {
     /// scheduled, so the event stream and metrics are byte-identical to a
     /// build without the hooks.
     recorder: Option<Box<dyn Recorder>>,
+    /// Runtime invariant sanitizer (see [`crate::simcheck`]): observes
+    /// arrivals, popped events, and queue-depth updates, asserting
+    /// conservation invariants as the run progresses. Absent — not just
+    /// inert — without the `simcheck` feature, and it never mutates sim
+    /// state, so metrics are byte-identical either way (CI diffs the two
+    /// builds on a smoke run).
+    #[cfg(feature = "simcheck")]
+    simcheck: SimChecker,
     /// Handle to the lifecycle ledger, when `config.record.ledger` is set.
     obs_ledger: Option<LedgerHandle>,
     /// Handle to the Perfetto trace builder, when `config.record.perfetto`
@@ -345,6 +355,8 @@ impl Cluster {
             local_aggs: vec![LocalAgg::default(); total_units],
             idle_scratch: Vec::new(),
             recorder,
+            #[cfg(feature = "simcheck")]
+            simcheck: SimChecker::new(),
             obs_ledger,
             obs_perfetto,
             obs_series,
@@ -656,6 +668,29 @@ impl Cluster {
         }
     }
 
+    /// Feeds one queue-depth observation to the metrics integral and,
+    /// under `simcheck`, to the sanitizer's independent mirror of it
+    /// (the two must reproduce `avg_queue_depth` bit-for-bit).
+    fn note_queue_depth(&mut self, t: SimTime, len: usize) {
+        self.metrics.observe_queue_depth(t, len);
+        #[cfg(feature = "simcheck")]
+        self.simcheck.observe_queue_depth(t, len);
+    }
+
+    /// Fleet audit under `simcheck`: request conservation plus
+    /// residency/host-tier capacity conservation, at the current instant.
+    #[cfg(feature = "simcheck")]
+    fn audit_invariants(&mut self) {
+        let completed = self.metrics.completed();
+        self.simcheck.audit(
+            completed,
+            self.global_queue.len(),
+            &self.units,
+            &self.registry,
+            self.store.as_ref(),
+        );
+    }
+
     /// Runs a trace to completion (all requests served) and returns the
     /// run metrics.
     pub fn run(&mut self, trace: &Trace) -> RunMetrics {
@@ -663,7 +698,7 @@ impl Cluster {
             self.hot_model = trace.hottest_model().map(ModelId);
         }
         self.metrics.record_hot_replicas(SimTime::ZERO, 0);
-        self.metrics.observe_queue_depth(SimTime::ZERO, 0);
+        self.note_queue_depth(SimTime::ZERO, 0);
         self.pending_total = trace.len() as u64;
 
         // Arrivals stream from the trace cursor instead of being
@@ -720,11 +755,13 @@ impl Cluster {
                 .with_tenant((r.function % num_tenants) as u16);
                 next_arrival += 1;
                 self.profile.arrivals += 1;
+                #[cfg(feature = "simcheck")]
+                self.simcheck.on_arrival(self.now);
                 let req_id = request.id;
                 let req_model = request.model;
                 self.global_queue.push_back(request);
                 let qlen = self.global_queue.len();
-                self.metrics.observe_queue_depth(self.now, qlen);
+                self.note_queue_depth(self.now, qlen);
                 if self.recorder.is_some() {
                     self.emit(ObsEvent::Arrival {
                         req: req_id,
@@ -745,6 +782,10 @@ impl Cluster {
                 self.profile.events_popped += 1;
                 self.profile.heap_peak = self.profile.heap_peak.max(events.len() + 1);
                 self.now = t;
+                #[cfg(feature = "simcheck")]
+                if self.simcheck.on_event(t) {
+                    self.audit_invariants();
+                }
                 match ev {
                     Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
                     Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
@@ -806,6 +847,14 @@ impl Cluster {
         metrics.scale_up_events = self.scale_ups;
         metrics.scale_down_events = self.scale_downs;
         metrics.gpu_busy_seconds = self.busy_secs;
+        #[cfg(feature = "simcheck")]
+        self.simcheck.finish(
+            end,
+            &metrics,
+            &self.units,
+            &self.registry,
+            self.store.as_ref(),
+        );
         metrics
     }
 
@@ -1082,7 +1131,7 @@ impl Cluster {
             }
         }
         let qlen = self.global_queue.len();
-        self.metrics.observe_queue_depth(self.now, qlen);
+        self.note_queue_depth(self.now, qlen);
         if self.recorder.is_some() {
             self.emit(ObsEvent::QueueDepth { len: qlen });
         }
@@ -1098,6 +1147,8 @@ impl Cluster {
     /// re-arming once every trace request has completed, so the event
     /// queue drains and the run ends.
     fn on_scale_tick(&mut self, events: &mut EventQueue<Event>) {
+        #[cfg(feature = "simcheck")]
+        self.audit_invariants();
         if self.metrics.completed() >= self.pending_total {
             return;
         }
@@ -1339,7 +1390,7 @@ impl Cluster {
         }
         let qlen = self.global_queue.len();
         if qlen != global_before {
-            self.metrics.observe_queue_depth(self.now, qlen);
+            self.note_queue_depth(self.now, qlen);
             if self.recorder.is_some() {
                 self.emit(ObsEvent::QueueDepth { len: qlen });
             }
@@ -1914,7 +1965,7 @@ impl SchedCtx<'_> {
             .expect("index in bounds");
         let qlen = self.cluster.global_queue.len();
         let now = self.cluster.now;
-        self.cluster.metrics.observe_queue_depth(now, qlen);
+        self.cluster.note_queue_depth(now, qlen);
         if self.cluster.recorder.is_some() {
             self.cluster.emit(ObsEvent::QueueDepth { len: qlen });
         }

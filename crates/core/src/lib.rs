@@ -50,6 +50,8 @@ pub mod metrics;
 pub mod policy;
 pub mod request;
 pub mod scheduler;
+#[cfg(feature = "simcheck")]
+pub mod simcheck;
 pub mod tinylfu;
 
 /// Re-export of the observability layer ([`gfaas_obs`]): the [`obs::Recorder`]

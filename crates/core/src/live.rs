@@ -16,7 +16,7 @@
 //! route GPU-enabled functions straight into it (see the quickstart
 //! example).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gfaas_faas::{Dispatcher, Invocation, InvocationResult};
 use gfaas_gpu::{GpuDevice, GpuId, GpuSpec, ModelId};
@@ -64,7 +64,9 @@ impl std::error::Error for LiveError {}
 
 struct LiveGpu {
     device: GpuDevice,
-    resident: HashMap<ModelId, LiveModel>,
+    // `BTreeMap` keeps gfaas-core entirely free of hash-order state
+    // (this map is lookup-only, but see `gfaas-analyze` rule D1).
+    resident: BTreeMap<ModelId, LiveModel>,
     hits: u64,
 }
 
@@ -85,7 +87,7 @@ impl LiveServer {
         let gpus: Vec<LiveGpu> = (0..num_gpus)
             .map(|i| LiveGpu {
                 device: GpuDevice::new(GpuId(i as u16), spec.clone()),
-                resident: HashMap::new(),
+                resident: BTreeMap::new(),
                 hits: 0,
             })
             .collect();

@@ -1,6 +1,6 @@
 //! The store itself: revisions, ranges, transactions, watches, leases.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use crossbeam::channel::unbounded;
@@ -37,7 +37,10 @@ struct Inner {
     revision: u64,
     map: BTreeMap<String, KeyValue>,
     watchers: Vec<WatchSink>,
-    leases: HashMap<LeaseId, Lease>,
+    // Keyed by a `BTreeMap` so `expire_leases` visits due leases in id
+    // order: the expiry-delete sequence (and hence revision numbers and
+    // watch-event order) must not depend on hash iteration order.
+    leases: BTreeMap<LeaseId, Lease>,
     next_lease: u64,
 }
 

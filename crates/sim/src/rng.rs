@@ -189,6 +189,7 @@ impl Zipf {
         let u = rng.next_f64();
         match self
             .cdf
+            // gfaas-lint: allow(float-ord, CDF entries are cumulative probabilities built from finite weights; expect() panics rather than reorders)
             .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
         {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),

@@ -323,6 +323,7 @@ impl Histogram {
                 let rank =
                     ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
                 let (_, v, _) = self.samples.select_nth_unstable_by(rank - 1, |a, b| {
+                    // gfaas-lint: allow(float-ord, samples are finite latencies; expect() panics on NaN rather than reorders)
                     a.partial_cmp(b).expect("samples are finite")
                 });
                 Some(*v)
@@ -336,6 +337,7 @@ impl Histogram {
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.samples
+                // gfaas-lint: allow(float-ord, samples are finite latencies; expect() panics on NaN rather than reorders)
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
             self.sorted = true;
         }
@@ -520,6 +522,7 @@ mod tests {
 
         // Oracle: explicit sort + nearest-rank lookup.
         let mut sorted = samples.clone();
+        // gfaas-lint: allow(float-ord, test oracle over synthetic finite samples; unwrap() panics on NaN)
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (i, &(q, v)) in cdf.iter().enumerate() {
             let expect_q = (i + 1) as f64 / 20.0;

@@ -272,9 +272,11 @@ impl StoreSpec {
             return Err(StoreError::UnknownKey(self.key.clone()));
         }
         // NaN must fail too, hence the negated comparison shapes.
+        // gfaas-lint: allow(float-ord, NaN-rejecting validation - partial_cmp returning None deliberately fails the check)
         if self.origin_bw_bps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(StoreError::BadBounds("origin_bw must be positive".into()));
         }
+        // gfaas-lint: allow(float-ord, NaN-rejecting validation - partial_cmp returning None deliberately fails the check)
         if self.pcie_bw_bps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(StoreError::BadBounds("pcie_bw must be positive".into()));
         }

@@ -185,6 +185,7 @@ fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
     // Hand out the leftover requests to the largest remainders
     // (deterministic tie-break by rank).
     remainders.sort_by(|a, b| {
+        // gfaas-lint: allow(float-ord, remainders are fractional parts in [0 - 1) of finite rates; expect() panics on NaN)
         b.1.partial_cmp(&a.1)
             .expect("finite remainders")
             .then(a.0.cmp(&b.0))

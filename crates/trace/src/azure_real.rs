@@ -26,7 +26,7 @@
 //! dataset path is supplied (`--azure-data <csv>`), so real-trace replay
 //! slots into the same policy × scenario matrix as the synthetic presets.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Error, ErrorKind, Result};
 
 use gfaas_sim::rng::DetRng;
@@ -101,8 +101,11 @@ impl AzureFunctionsDataset {
 
         let mut functions: Vec<FunctionRow> = Vec::new();
         // The real dataset has tens of thousands of rows; an id → index
-        // map keeps duplicate merging linear instead of O(rows²).
-        let mut index: HashMap<String, usize> = HashMap::new();
+        // map keeps duplicate merging near-linear instead of O(rows²).
+        // A `BTreeMap` keeps the trace crate free of hash-order state
+        // (lookup-only here, but determinism is cheaper to prove without
+        // `HashMap` at all — see `gfaas-analyze` rule D1).
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
         for (i, line) in lines.enumerate() {
             let lineno = i + 2;
             let line = line?;
