@@ -1,0 +1,25 @@
+// Fixture: rule `snap-mutate`. Never compiled — read as text by
+// tests/fixtures.rs and linted under a virtual crates/core path.
+
+fn bad(ctx: &mut SchedCtx<'_>, u: &mut GpuUnit, r: Request) {
+    ctx.cluster.global_queue.push_back(r); // line 5: finding (mutating call)
+    u.local_queue.pop_front(); // line 6: finding (mutating call)
+    u.in_flight = None; // line 7: finding (assignment)
+    let q = &mut ctx.cluster.units[3].local_queue; // line 8: finding (&mut borrow)
+    q.clear();
+}
+
+fn good(ctx: &SchedCtx<'_>, u: &GpuUnit) -> usize {
+    // Reads and comparisons are fine; so are lookalike locals.
+    let mut local_queue = std::collections::VecDeque::new();
+    local_queue.push_back(1u32);
+    if u.in_flight == None {
+        return local_queue.len();
+    }
+    u.local_queue.len() + ctx.cluster.global_queue.len()
+}
+
+fn waived(u: &mut GpuUnit) {
+    // gfaas-lint: allow(snap-mutate, test harness builds a standalone unit never owned by a journal)
+    u.local_queue.push_back(req(1, 0));
+}

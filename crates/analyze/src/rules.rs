@@ -17,6 +17,7 @@
 //! | `obs-guard` | gfaas-core           | `ObsEvent::…` outside a recorder guard   |
 //! | `no-unsafe` | whole workspace      | the `unsafe` keyword                     |
 //! | `float-ord` | deterministic crates | `partial_cmp` calls, `f32`/`f64` map keys|
+//! | `snap-mutate`| gfaas-core          | direct writes to journal-managed fields  |
 
 use crate::lexer::{Tok, TokKind};
 
@@ -126,6 +127,13 @@ pub static RULES: &[Rule] = &[
         severity: Severity::Warn,
         summary: "no partial_cmp / float map keys in deterministic crates (NaN breaks totality)",
         check: check_float_ord,
+    },
+    Rule {
+        id: "snap-mutate",
+        severity: Severity::Error,
+        summary:
+            "no direct mutation of journal-managed cluster state outside the snapshot write API",
+        check: check_snap_mutate,
     },
 ];
 
@@ -288,6 +296,113 @@ fn check_float_ord(f: &FileCtx<'_>) -> Vec<Finding> {
     findings
 }
 
+/// D5 — the PR 10 rollback invariant: every field the `gfaas-snap`
+/// journal images (`global_queue`, the per-unit `local_queue` /
+/// `in_flight` / `holding`, `local_aggs`, the `units` vector itself)
+/// may only be written through the snapshot write API — the `Cluster` /
+/// `SchedCtx` methods in `cluster.rs` and `GpuUnit`'s own impl in
+/// `gpu_manager.rs` — which keep the aggregate indices and the journal's
+/// capture points in sync. A write anywhere else in `gfaas-core`
+/// (a scheduler reaching through `ctx`, a new subsystem poking a queue)
+/// mutates state the journal believes it owns: rollback still restores
+/// bytes, but the bookkeeping the write skipped (aggregates, queue-depth
+/// notes) silently diverges. Flags field accesses followed by a mutating
+/// method, an assignment, or taken as `&mut` borrows.
+fn check_snap_mutate(f: &FileCtx<'_>) -> Vec<Finding> {
+    if f.krate != "core" || matches!(f.file_name(), "cluster.rs" | "gpu_manager.rs") {
+        return Vec::new();
+    }
+    const FIELDS: &[&str] = &[
+        "global_queue",
+        "local_queue",
+        "in_flight",
+        "holding",
+        "local_aggs",
+        "units",
+    ];
+    const MUTATORS: &[&str] = &[
+        "push",
+        "push_back",
+        "push_front",
+        "pop",
+        "pop_back",
+        "pop_front",
+        "insert",
+        "remove",
+        "swap_remove",
+        "clear",
+        "drain",
+        "truncate",
+        "retain",
+        "extend",
+        "append",
+        "take",
+        "replace",
+        "get_or_insert_with",
+        "resize",
+        "rotate_left",
+        "rotate_right",
+        "sort",
+        "sort_by",
+        "sort_by_key",
+        "split_off",
+        "swap",
+    ];
+    let toks = f.toks;
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !FIELDS.contains(&t.text) {
+            continue;
+        }
+        // Field accesses only (`x.local_queue`): a local variable that
+        // merely shares the name is not journal-managed state.
+        if i == 0 || toks[i - 1].text != "." {
+            continue;
+        }
+        let mutated = match toks.get(i + 1).map(|t| t.text) {
+            // `….local_queue.push_back(…)` and friends.
+            Some(".") => toks.get(i + 2).is_some_and(|m| MUTATORS.contains(&m.text)),
+            // `….in_flight = …`; `==` and `=>` are reads, not writes.
+            Some("=") => !matches!(toks.get(i + 2).map(|t| t.text), Some("=") | Some(">")),
+            _ => false,
+        } || mut_borrowed(toks, i);
+        // One finding per line: `&mut self.units[j].local_queue` is one
+        // write site, not two.
+        if mutated && findings.last().is_none_or(|l: &Finding| l.line != t.line) {
+            findings.push(Finding {
+                line: t.line,
+                message: format!(
+                    "`{}` is journal-managed cluster state: write it through the \
+                     Cluster/SchedCtx snapshot API so the undo journal and the \
+                     aggregate indices observe the mutation",
+                    t.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether the field access ending at `toks[i]` sits under an `&mut`
+/// borrow (`&mut self.units[j].local_queue`): walks back over the path
+/// (identifiers, `.`, index brackets) to the borrow site.
+fn mut_borrowed(toks: &[Tok<'_>], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        let path_part = t.text == "."
+            || t.text == "["
+            || t.text == "]"
+            || (t.kind == TokKind::Ident && t.text != "mut")
+            || t.kind == TokKind::Num;
+        if !path_part {
+            break;
+        }
+        j -= 1;
+    }
+    j >= 2 && toks[j - 1].text == "mut" && toks[j - 2].text == "&"
+}
+
 /// Flags every identifier token matching one of `names`, one finding
 /// per source line.
 fn idents(f: &FileCtx<'_>, names: &[&str], message: impl Fn(&str) -> String) -> Vec<Finding> {
@@ -423,6 +538,44 @@ fn f(&mut self) {
             [1]
         );
         assert_eq!(run("no-unsafe", "tests/x.rs", "gfaas", src), [1]);
+    }
+
+    #[test]
+    fn snap_mutate_flags_writes_but_not_reads() {
+        // Mutating method calls, assignments, and &mut borrows fire.
+        let push = "fn f(ctx: &mut SchedCtx) { ctx.cluster.units[j].local_queue.push_back(r); }";
+        assert_eq!(
+            run("snap-mutate", "crates/core/src/scheduler.rs", "core", push),
+            [1]
+        );
+        let assign = "fn f(u: &mut GpuUnit) { u.in_flight = None; }";
+        assert_eq!(
+            run("snap-mutate", "crates/core/src/batching.rs", "core", assign),
+            [1]
+        );
+        let borrow = "let q = &mut self.units[3].local_queue;";
+        assert_eq!(
+            run(
+                "snap-mutate",
+                "crates/core/src/autoscale.rs",
+                "core",
+                borrow
+            ),
+            [1]
+        );
+        // Reads, comparisons, and lookalike locals stay silent.
+        let reads = "let n = u.local_queue.len();\nif u.in_flight == None {}\nlet local_queue = VecDeque::new();\nlocal_queue.push_back(r);";
+        assert!(run("snap-mutate", "crates/core/src/scheduler.rs", "core", reads).is_empty());
+        // The write API itself and other crates are out of scope.
+        assert!(run("snap-mutate", "crates/core/src/cluster.rs", "core", push).is_empty());
+        assert!(run(
+            "snap-mutate",
+            "crates/core/src/gpu_manager.rs",
+            "core",
+            push
+        )
+        .is_empty());
+        assert!(run("snap-mutate", "crates/store/src/lib.rs", "store", push).is_empty());
     }
 
     #[test]

@@ -84,6 +84,30 @@ fn float_ord_fixture() {
 }
 
 #[test]
+fn snap_mutate_fixture() {
+    assert_eq!(
+        lint_fixture("snap_mutate.rs", "crates/core/src/scheduler.rs"),
+        [
+            (5, "snap-mutate"),
+            (6, "snap-mutate"),
+            (7, "snap-mutate"),
+            (8, "snap-mutate"),
+        ]
+    );
+    // The write API itself is exempt: its waiver (now matching nothing)
+    // is the only report.
+    assert_eq!(
+        lint_fixture("snap_mutate.rs", "crates/core/src/cluster.rs"),
+        [(23, UNUSED_WAIVER)]
+    );
+    // Other crates never see the rule.
+    assert_eq!(
+        lint_fixture("snap_mutate.rs", "crates/store/src/lib.rs"),
+        [(23, UNUSED_WAIVER)]
+    );
+}
+
+#[test]
 fn waivers_fixture() {
     // Three malformed waivers, one stale one; the well-formed waiver on
     // line 17 silently covers the Instant::now on line 18.

@@ -21,6 +21,14 @@
 //! run requires exactly one seed; `--trace-out` writes the Perfetto
 //! JSON, `--ledger-out` the per-request lifecycle CSV, and
 //! `--series-out` the sampled time-series CSV.
+//!
+//! Checkpoints (see `gfaas_core::snap`): `--checkpoint-at SECS
+//! --checkpoint-out FILE` pauses the run at virtual time SECS, writes
+//! the versioned-state checkpoint, then resumes to completion (the
+//! printed metrics are byte-identical to an unpaused run). A later
+//! invocation with identical flags plus `--warm-start FILE` restores
+//! the checkpoint and replays only the remainder — same metrics, no
+//! re-simulation of the prefix. Both require exactly one seed.
 
 use std::collections::BTreeMap;
 
@@ -43,6 +51,7 @@ fn usage() -> ! {
          \x20          --tenants N  --tenant-cap N\n\
          \x20          --record ledger|perfetto|sample[=secs]|slo=secs|all\n\
          \x20          --trace-out FILE  --ledger-out FILE  --series-out FILE\n\
+         \x20          --checkpoint-at SECS --checkpoint-out FILE  --warm-start FILE\n\
          trace flags: --ws N  --seed S  --out FILE"
     );
     std::process::exit(2);
@@ -189,6 +198,19 @@ fn cmd_run(flags: BTreeMap<String, String>) {
         eprintln!("--record needs exactly one seed (got {})", seeds.len());
         usage();
     }
+    if flags.contains_key("checkpoint-out") && !flags.contains_key("checkpoint-at") {
+        eprintln!("--checkpoint-out requires --checkpoint-at SECS");
+        usage();
+    }
+    if flags.contains_key("warm-start") && flags.contains_key("checkpoint-at") {
+        eprintln!("--warm-start and --checkpoint-at are mutually exclusive");
+        usage();
+    }
+    if (flags.contains_key("checkpoint-at") || flags.contains_key("warm-start")) && seeds.len() > 1
+    {
+        eprintln!("checkpointing needs exactly one seed (got {})", seeds.len());
+        usage();
+    }
     let mut runs = Vec::new();
     for &seed in &seeds {
         let mut tc = AzureTraceConfig::paper(ws, seed);
@@ -218,7 +240,40 @@ fn cmd_run(flags: BTreeMap<String, String>) {
         cfg.store = store.clone();
         cfg.record = record;
         let mut cluster = Cluster::new(cfg, ModelRegistry::table1());
-        let m = cluster.run(&trace);
+        let m = if let Some(path) = flags.get("warm-start") {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read checkpoint {path}: {e}");
+                std::process::exit(2);
+            });
+            // The checkpoint header pins config and trace digests, so a
+            // warm start under different flags fails here, loudly.
+            cluster.restore(&bytes, &trace).unwrap_or_else(|e| {
+                eprintln!("cannot warm-start from {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("warm-started from {path} ({} bytes)", bytes.len());
+            cluster.resume(&trace)
+        } else if let Some(at) = flags.get("checkpoint-at") {
+            let secs: f64 = at.parse().unwrap_or_else(|_| {
+                eprintln!("bad --checkpoint-at {at:?}");
+                usage();
+            });
+            cluster.run_until(&trace, gfaas_sim::time::SimTime::from_secs_f64(secs));
+            let bytes = cluster.checkpoint(&trace);
+            if let Some(path) = flags.get("checkpoint-out") {
+                if let Err(e) = std::fs::write(path, &bytes) {
+                    eprintln!("cannot write checkpoint to {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "wrote checkpoint at t={secs}s to {path} ({} bytes)",
+                    bytes.len()
+                );
+            }
+            cluster.resume(&trace)
+        } else {
+            cluster.run(&trace)
+        };
         if !store.is_flat() {
             let s = cluster.store_stats();
             println!(

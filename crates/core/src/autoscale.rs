@@ -283,6 +283,20 @@ pub trait Autoscaler: fmt::Debug + Send {
 
     /// One observation → decision step.
     fn step(&mut self, view: &ScaleView<'_>) -> ScaleDecision;
+
+    /// Serialises any mutable policy state into a snapshot blob (the
+    /// hysteresis streak, for the builtin). Stateless policies keep the
+    /// default no-op.
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        let _ = enc;
+    }
+
+    /// Restores the state written by [`Autoscaler::save_state`] onto a
+    /// policy built from the same spec.
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        let _ = dec;
+        Ok(())
+    }
 }
 
 /// The builtin queue-pressure hysteresis policy (spec key `queue`).
@@ -335,6 +349,15 @@ impl Autoscaler for QueuePressureAutoscaler {
 
     fn cadence(&self) -> SimDuration {
         self.cadence
+    }
+
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        enc.put_u32(self.down_streak);
+    }
+
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        self.down_streak = dec.u32()?;
+        Ok(())
     }
 
     fn step(&mut self, view: &ScaleView<'_>) -> ScaleDecision {

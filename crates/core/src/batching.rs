@@ -152,6 +152,21 @@ pub trait BatchPolicy: fmt::Debug + Send {
     fn is_passthrough(&self) -> bool {
         false
     }
+
+    /// Serialises any mutable policy state into a snapshot blob. The
+    /// three builtin policies are pure functions of their configuration,
+    /// so the default no-op is exact for them; stateful policies must
+    /// override both hooks.
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        let _ = enc;
+    }
+
+    /// Restores the state written by [`BatchPolicy::save_state`] onto a
+    /// policy built from the same spec.
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        let _ = dec;
+        Ok(())
+    }
 }
 
 /// Per-request dispatch (the paper's behaviour; spec key `none`).

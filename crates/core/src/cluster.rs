@@ -40,7 +40,11 @@ use gfaas_obs::perfetto::{PerfettoHandle, PerfettoRecorder};
 use gfaas_obs::sampler::{SamplerRecorder, SeriesHandle, TimeSeries};
 use gfaas_obs::{Arm, GpuSample, MultiRecorder, ObsEvent, Recorder, SampleView, SelfProfile};
 use gfaas_sim::event::EventQueue;
+use gfaas_sim::rng::DetRng;
 use gfaas_sim::time::{SimDuration, SimTime};
+use gfaas_snap::{
+    fnv1a, read_header, write_header, Dec, Enc, Fnv1a, Journal, JournalStats, SnapError, SnapId,
+};
 use gfaas_store::{ModelStore, StoreStats};
 use gfaas_trace::Trace;
 
@@ -49,10 +53,10 @@ use crate::batching::{BatchPolicy, BatchView};
 use crate::cache::{CacheManager, Evictor};
 use crate::config::{BusyWaitPolicy, ClusterConfig, ConfigError};
 use crate::gpu_manager::{lru_key, status_key, GpuUnit, HoldSlot, InFlight, Phase, UnitState};
-use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::metrics::{MetricsCollector, MetricsImage, RunMetrics};
 use crate::policy::{PolicyRegistry, PolicySpec};
 use crate::request::Request;
-use crate::scheduler::{Dispatch, SchedulerPolicy};
+use crate::scheduler::{Dispatch, LalbScheduler, SchedulerPolicy, DEFAULT_O3_LIMIT};
 #[cfg(feature = "simcheck")]
 use crate::simcheck::SimChecker;
 
@@ -60,9 +64,10 @@ use crate::simcheck::SimChecker;
 ///
 /// GPU events carry the dispatch sequence token of the work they belong
 /// to; a crash invalidates the token so the stale completion event is
-/// ignored when it fires.
-#[derive(Debug)]
-enum Event {
+/// ignored when it fires. `Clone` because the snapshot journal pins the
+/// pending event queue alongside the rest of the mutable state.
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
     /// The GPU finished its current phase (load or inference).
     GpuDone(GpuId, u64),
     /// The GPU process serving the in-flight request crashed (failure
@@ -181,6 +186,21 @@ pub struct Cluster {
     estimator_calls: Cell<u64>,
     /// Recycled per-GPU sample buffer for [`ObsEvent::Sample`].
     obs_scratch: Vec<GpuSample>,
+    /// The pending runtime-event heap. Owned by the cluster (not the
+    /// run loop) so a run can pause at a virtual-time bound
+    /// ([`Cluster::run_until`]), be checkpointed, and resume; the drive
+    /// loop `mem::take`s it while running.
+    events: EventQueue<Event>,
+    /// Cursor into the trace: the next arrival to admit. Part of the
+    /// journaled/checkpointed state — rolling back re-delivers arrivals.
+    next_arrival: usize,
+    /// Whether [`Cluster::begin_run`] already performed its one-time
+    /// setup (tick scheduling, RunStart emission, counters).
+    run_started: bool,
+    /// Undo-log of pinned state images (see [`gfaas_snap`]). Empty —
+    /// and therefore zero-cost — unless [`Cluster::snapshot`] or the
+    /// lookahead scheduler's what-if forks are in use.
+    journal: Journal<ClusterImage>,
 }
 
 /// Incremental summary of one GPU's local queue, kept in lockstep with
@@ -365,6 +385,10 @@ impl Cluster {
             profile: SelfProfile::default(),
             estimator_calls: Cell::new(0),
             obs_scratch: Vec::new(),
+            events: EventQueue::new(),
+            next_arrival: 0,
+            run_started: false,
+            journal: Journal::new(),
         })
     }
 
@@ -694,26 +718,52 @@ impl Cluster {
     /// Runs a trace to completion (all requests served) and returns the
     /// run metrics.
     pub fn run(&mut self, trace: &Trace) -> RunMetrics {
+        self.begin_run(trace);
+        self.drive(trace, None);
+        self.finish_run()
+    }
+
+    /// Runs the trace until virtual time passes `until`, then pauses:
+    /// every arrival and runtime event at or before `until` is processed,
+    /// the first occurrence after it is left pending. The paused cluster
+    /// can be [`Cluster::snapshot`]ted, [`Cluster::checkpoint`]ed, driven
+    /// further with another `run_until`, or run to completion with
+    /// [`Cluster::resume`] — the occurrence stream is identical to an
+    /// unpaused [`Cluster::run`], so the final metrics are byte-identical.
+    pub fn run_until(&mut self, trace: &Trace, until: SimTime) {
+        self.begin_run(trace);
+        self.drive(trace, Some(until));
+    }
+
+    /// Drives a paused run (after [`Cluster::run_until`] or
+    /// [`Cluster::restore`]) to completion and returns the run metrics.
+    /// On a cluster that never started, this is exactly [`Cluster::run`].
+    pub fn resume(&mut self, trace: &Trace) -> RunMetrics {
+        self.run(trace)
+    }
+
+    /// One-time run setup: counters, tick scheduling, RunStart telemetry.
+    /// Guarded by `run_started` so `run`/`run_until`/`resume` compose and
+    /// a restored checkpoint does not redo it.
+    fn begin_run(&mut self, trace: &Trace) {
+        if self.run_started {
+            return;
+        }
+        self.run_started = true;
         if self.hot_model.is_none() {
             self.hot_model = trace.hottest_model().map(ModelId);
         }
         self.metrics.record_hot_replicas(SimTime::ZERO, 0);
         self.note_queue_depth(SimTime::ZERO, 0);
         self.pending_total = trace.len() as u64;
-
         // Arrivals stream from the trace cursor instead of being
         // pre-scheduled, so the heap holds only runtime events (a handful
-        // per GPU) rather than the whole trace. At equal timestamps the
-        // arrival wins the tie-break — exactly the order pre-scheduled
-        // arrivals popped in, since their sequence numbers (0..N-1,
-        // assigned before any runtime event) sorted below everything else.
-        let mut events: EventQueue<Event> = EventQueue::with_capacity(self.units.len() * 2 + 8);
-        let arrivals = trace.requests();
-        let mut next_arrival = 0usize;
-        let num_tenants = self.config.num_tenants.max(1) as u32;
-
+        // per GPU) rather than the whole trace.
+        self.events = EventQueue::with_capacity(self.units.len() * 2 + 8);
+        self.next_arrival = 0;
         if let Some(autoscaler) = &self.autoscaler {
-            events.schedule(SimTime::ZERO + autoscaler.cadence(), Event::ScaleTick);
+            self.events
+                .schedule(SimTime::ZERO + autoscaler.cadence(), Event::ScaleTick);
         }
         if self.recorder.is_some() {
             let online = self.online_gpus();
@@ -729,31 +779,54 @@ impl Cluster {
                 }
             }
             if let Some(cadence) = self.obs_cadence {
-                events.schedule(SimTime::ZERO + cadence, Event::ObsTick);
+                self.events
+                    .schedule(SimTime::ZERO + cadence, Event::ObsTick);
             }
         }
+    }
 
+    /// The event loop: interleaves trace arrivals with runtime events in
+    /// virtual-time order until both streams are exhausted — or, with a
+    /// bound, until the next occurrence would land after `until`. At
+    /// equal timestamps the arrival wins the tie-break — exactly the
+    /// order pre-scheduled arrivals popped in, since their sequence
+    /// numbers (0..N-1, assigned before any runtime event) sorted below
+    /// everything else.
+    fn drive(&mut self, trace: &Trace, until: Option<SimTime>) {
+        let mut events = std::mem::take(&mut self.events);
+        let arrivals = trace.requests();
+        let num_tenants = self.config.num_tenants.max(1) as u32;
         loop {
-            let arrival_at = arrivals.get(next_arrival).map(|r| r.at);
+            let arrival_at = arrivals.get(self.next_arrival).map(|r| r.at);
             let take_arrival = match (arrival_at, events.peek_time()) {
                 (Some(a), Some(h)) => a <= h,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => break,
             };
+            if let Some(bound) = until {
+                let next_at = if take_arrival {
+                    arrival_at.expect("arrival branch has an arrival")
+                } else {
+                    events.peek_time().expect("event branch has an event")
+                };
+                if next_at > bound {
+                    break;
+                }
+            }
             if take_arrival {
-                let r = &arrivals[next_arrival];
+                let r = &arrivals[self.next_arrival];
                 debug_assert!(r.at >= self.now, "trace not sorted by arrival");
                 self.now = r.at;
                 let request = Request::new(
-                    next_arrival as u64,
+                    self.next_arrival as u64,
                     r.function,
                     ModelId(r.model),
                     self.config.batch_size,
                     r.at,
                 )
                 .with_tenant((r.function % num_tenants) as u16);
-                next_arrival += 1;
+                self.next_arrival += 1;
                 self.profile.arrivals += 1;
                 #[cfg(feature = "simcheck")]
                 self.simcheck.on_arrival(self.now);
@@ -786,16 +859,32 @@ impl Cluster {
                 if self.simcheck.on_event(t) {
                     self.audit_invariants();
                 }
-                match ev {
-                    Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, &mut events),
-                    Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, &mut events),
-                    Event::ScaleTick => self.on_scale_tick(&mut events),
-                    Event::BatchHold(g, seq) => self.on_batch_hold(g, seq, &mut events),
-                    Event::ObsTick => self.on_obs_tick(&mut events),
-                }
+                self.handle_event(ev, &mut events);
             }
         }
+        self.events = events;
+    }
 
+    /// Dispatches one popped runtime event to its handler. Shared by the
+    /// main [`Cluster::drive`] loop and the lookahead policy's
+    /// speculative replay, so a what-if fork advances the world through
+    /// exactly the code the real timeline uses.
+    fn handle_event(&mut self, ev: Event, events: &mut EventQueue<Event>) {
+        match ev {
+            Event::GpuDone(g, seq) => self.on_gpu_done(g, seq, events),
+            Event::GpuCrash(g, seq) => self.on_gpu_crash(g, seq, events),
+            Event::ScaleTick => self.on_scale_tick(events),
+            Event::BatchHold(g, seq) => self.on_batch_hold(g, seq, events),
+            Event::ObsTick => self.on_obs_tick(events),
+        }
+    }
+
+    /// End-of-run accounting: finalises the metrics, closes recorder
+    /// sinks, and (under `simcheck`) runs the drained-state audits and
+    /// the ledger cross-check. Only meaningful once both occurrence
+    /// streams are exhausted.
+    fn finish_run(&mut self) -> RunMetrics {
+        debug_assert!(self.events.is_empty(), "runtime events left pending");
         debug_assert!(self.global_queue.is_empty(), "requests left undispatched");
         debug_assert!(
             self.units
@@ -842,19 +931,32 @@ impl Cluster {
                 .sum::<f64>()
                 / self.units.len().max(1) as f64
         };
+        // The histogram's tick sum must be read before `finish` consumes
+        // the collector; the ledger cross-check compares against it.
+        #[cfg(feature = "simcheck")]
+        let latency_ticks = self.metrics.latency_tick_sum();
         let mut metrics = std::mem::take(&mut self.metrics).finish(end, sm);
         metrics.gpu_seconds_provisioned = gpu_seconds;
         metrics.scale_up_events = self.scale_ups;
         metrics.scale_down_events = self.scale_downs;
         metrics.gpu_busy_seconds = self.busy_secs;
         #[cfg(feature = "simcheck")]
-        self.simcheck.finish(
-            end,
-            &metrics,
-            &self.units,
-            &self.registry,
-            self.store.as_ref(),
-        );
+        {
+            self.simcheck.finish(
+                end,
+                &metrics,
+                &self.units,
+                &self.registry,
+                self.store.as_ref(),
+            );
+            // Two independent accountings of every completed request —
+            // the observability ledger and the metrics pipeline — must
+            // agree to the tick.
+            if let Some(ledger) = self.ledger() {
+                self.simcheck
+                    .check_ledger(&ledger, metrics.completed, latency_ticks);
+            }
+        }
         metrics
     }
 
@@ -1930,6 +2032,826 @@ impl Cluster {
             );
         }
     }
+
+    // ------------------------------------------------------------------
+    // Versioned state: snapshot / rollback / commit (gfaas-snap)
+    // ------------------------------------------------------------------
+
+    /// Pins the complete mutable simulation state in the snapshot
+    /// journal and returns a handle. The cluster keeps running normally;
+    /// [`Cluster::rollback`] restores this instant byte-identically,
+    /// [`Cluster::commit`] retires the pin. Zero-cost when unused: no
+    /// run-loop path touches the journal.
+    pub fn snapshot(&mut self) -> SnapId {
+        let img = self.capture_image(&self.events);
+        self.journal.snapshot(img)
+    }
+
+    /// Restores the state pinned by `id`, discarding everything that
+    /// happened since — metrics, RNG, queues, residency, pending events,
+    /// the arrival cursor, all of it. The pin survives, so the same
+    /// snapshot can be rolled back to again. Returns false for a dead or
+    /// foreign id. Attached recorders and datastores are *not* rewound:
+    /// rolling back mid-recording leaves already-emitted telemetry in
+    /// the sinks (the lookahead forks stash the recorder first for
+    /// exactly that reason).
+    pub fn rollback(&mut self, id: SnapId) -> bool {
+        let Some(img) = self.journal.rollback(id) else {
+            return false;
+        };
+        let mut events = std::mem::take(&mut self.events);
+        self.apply_image(img, &mut events);
+        self.events = events;
+        true
+    }
+
+    /// Retires the pin `id` (and any older pins), keeping the current
+    /// timeline. Returns false for a dead or foreign id.
+    pub fn commit(&mut self, id: SnapId) -> bool {
+        self.journal.commit(id)
+    }
+
+    /// Journal counters: snapshots taken, rollbacks (including
+    /// speculative forks), commits.
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal.stats()
+    }
+
+    /// Live (uncommitted, un-rolled-back) pins in the journal.
+    pub fn journal_depth(&self) -> usize {
+        self.journal.depth()
+    }
+
+    /// Deep-copies every piece of mutable simulation state into a
+    /// [`ClusterImage`]. The event heap is passed in because the drive
+    /// loop owns it (`mem::take`n) while a speculation fork captures.
+    fn capture_image(&self, events: &EventQueue<Event>) -> ClusterImage {
+        let blob_of = |f: &dyn Fn(&mut Enc)| {
+            let mut enc = Enc::new();
+            f(&mut enc);
+            enc.into_bytes()
+        };
+        ClusterImage {
+            units: self.units.clone(),
+            cache_blob: blob_of(&|e| self.cache.save_state(e)),
+            sched_blob: self.sched.as_ref().map(|s| blob_of(&|e| s.save_state(e))),
+            batcher_blob: blob_of(&|e| self.batcher.save_state(e)),
+            store_blob: blob_of(&|e| self.store.save_state(e)),
+            autoscaler_blob: self
+                .autoscaler
+                .as_ref()
+                .map(|a| blob_of(&|e| a.save_state(e))),
+            global_queue: self.global_queue.clone(),
+            metrics: self.metrics.snapshot_image(),
+            now: self.now,
+            last_completion: self.last_completion,
+            hot_model: self.hot_model,
+            local_moves: self.local_moves,
+            crashes: self.crashes,
+            dispatch_seq: self.dispatch_seq,
+            rng: self.rng.state(),
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            online_low: self.online_low,
+            online_high: self.online_high,
+            pending_total: self.pending_total,
+            idle_online: self.idle_online,
+            holding_units: self.holding_units,
+            draining_units: self.draining_units,
+            busy_secs: self.busy_secs,
+            local_aggs: self.local_aggs.clone(),
+            events: events.clone(),
+            next_arrival: self.next_arrival,
+            run_started: self.run_started,
+            profile: self.profile.clone(),
+            estimator_calls: self.estimator_calls.get(),
+            #[cfg(feature = "simcheck")]
+            simcheck: self.simcheck.clone(),
+        }
+    }
+
+    /// Restores an image captured by [`Cluster::capture_image`],
+    /// byte-for-byte. Policy objects (scheduler, batcher, store,
+    /// evictor, autoscaler) are the same *objects* — only their mutable
+    /// state is rewound, through their save/load hooks.
+    fn apply_image(&mut self, img: ClusterImage, events: &mut EventQueue<Event>) {
+        self.metrics.restore_image(&img.metrics);
+        self.units = img.units;
+        let mut dec = Dec::new(&img.cache_blob);
+        self.cache
+            .load_state(&mut dec)
+            .expect("journaled cache image decodes");
+        match (self.sched.as_mut(), &img.sched_blob) {
+            (Some(s), Some(b)) => {
+                let mut dec = Dec::new(b);
+                s.load_state(&mut dec)
+                    .expect("journaled scheduler image decodes");
+            }
+            (None, None) => {}
+            _ => unreachable!("snapshot and rollback straddle a scheduling pass"),
+        }
+        let mut dec = Dec::new(&img.batcher_blob);
+        self.batcher
+            .load_state(&mut dec)
+            .expect("journaled batcher image decodes");
+        let mut dec = Dec::new(&img.store_blob);
+        self.store
+            .load_state(&mut dec)
+            .expect("journaled store image decodes");
+        match (self.autoscaler.as_mut(), &img.autoscaler_blob) {
+            (Some(a), Some(b)) => {
+                let mut dec = Dec::new(b);
+                a.load_state(&mut dec)
+                    .expect("journaled autoscaler image decodes");
+            }
+            (None, None) => {}
+            _ => unreachable!("autoscaler presence cannot change mid-run"),
+        }
+        self.global_queue = img.global_queue;
+        self.now = img.now;
+        self.last_completion = img.last_completion;
+        self.hot_model = img.hot_model;
+        self.local_moves = img.local_moves;
+        self.crashes = img.crashes;
+        self.dispatch_seq = img.dispatch_seq;
+        self.rng = DetRng::from_state(img.rng);
+        self.scale_ups = img.scale_ups;
+        self.scale_downs = img.scale_downs;
+        self.online_low = img.online_low;
+        self.online_high = img.online_high;
+        self.pending_total = img.pending_total;
+        self.idle_online = img.idle_online;
+        self.holding_units = img.holding_units;
+        self.draining_units = img.draining_units;
+        self.busy_secs = img.busy_secs;
+        self.local_aggs = img.local_aggs;
+        *events = img.events;
+        self.next_arrival = img.next_arrival;
+        self.run_started = img.run_started;
+        self.profile = img.profile;
+        self.estimator_calls.set(img.estimator_calls);
+        #[cfg(feature = "simcheck")]
+        {
+            self.simcheck = img.simcheck;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace checkpoint / warm start (on-disk form of the state image)
+    // ------------------------------------------------------------------
+
+    /// FNV digest of the full config debug form — the checkpoint
+    /// envelope's compatibility fingerprint.
+    fn config_digest(&self) -> u64 {
+        fnv1a(format!("{:?}", self.config).as_bytes())
+    }
+
+    /// Serialises the paused run into a self-describing byte image. The
+    /// envelope carries digests of the config and the trace, so a
+    /// [`Cluster::restore`] into a different world is rejected instead of
+    /// silently diverging. Call between [`Cluster::run_until`] and
+    /// [`Cluster::resume`]; a warm-started run's metrics are
+    /// byte-identical to an uninterrupted one.
+    pub fn checkpoint(&self, trace: &Trace) -> Vec<u8> {
+        let mut enc = Enc::new();
+        write_header(
+            &mut enc,
+            self.config_digest(),
+            trace_digest(trace),
+            trace.len(),
+        );
+        for u in &self.units {
+            save_unit(&mut enc, u);
+        }
+        self.cache.save_state(&mut enc);
+        self.sched
+            .as_ref()
+            .expect("checkpoint outside a scheduling pass")
+            .save_state(&mut enc);
+        self.batcher.save_state(&mut enc);
+        self.store.save_state(&mut enc);
+        enc.put_bool(self.autoscaler.is_some());
+        if let Some(a) = &self.autoscaler {
+            a.save_state(&mut enc);
+        }
+        enc.put_usize(self.global_queue.len());
+        for r in &self.global_queue {
+            save_request(&mut enc, r);
+        }
+        self.metrics.save_state(&mut enc);
+        enc.put_time(self.now);
+        enc.put_time(self.last_completion);
+        enc.put_bool(self.hot_model.is_some());
+        if let Some(m) = self.hot_model {
+            enc.put_u32(m.0);
+        }
+        enc.put_u64(self.local_moves);
+        enc.put_u64(self.crashes);
+        enc.put_u64(self.dispatch_seq);
+        for w in self.rng.state() {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.scale_ups);
+        enc.put_u64(self.scale_downs);
+        enc.put_usize(self.online_low);
+        enc.put_usize(self.online_high);
+        enc.put_u64(self.pending_total);
+        enc.put_usize(self.idle_online);
+        enc.put_usize(self.holding_units);
+        enc.put_usize(self.draining_units);
+        enc.put_f64(self.busy_secs);
+        save_events(&mut enc, &self.events);
+        enc.put_usize(self.next_arrival);
+        enc.put_bool(self.run_started);
+        // The sanitizer slot is written unconditionally so the wire
+        // layout is identical with and without the `simcheck` feature —
+        // a checkpoint taken by either build restores under either.
+        #[cfg(feature = "simcheck")]
+        self.simcheck.save_state(&mut enc);
+        #[cfg(not(feature = "simcheck"))]
+        {
+            enc.put_u64(0);
+            enc.put_time(SimTime::ZERO);
+            enc.put_u64(0);
+            enc.put_u64(0);
+            enc.put_time(SimTime::ZERO);
+            enc.put_usize(0);
+            enc.put_u128(0);
+        }
+        enc.into_bytes()
+    }
+
+    /// Restores a [`Cluster::checkpoint`] image into this cluster, which
+    /// must have been built from the same config and be resuming the
+    /// same trace (both enforced by the envelope digests). On success
+    /// the cluster is exactly the paused instant; drive it with
+    /// [`Cluster::resume`] or [`Cluster::run_until`].
+    pub fn restore(&mut self, bytes: &[u8], trace: &Trace) -> Result<(), SnapError> {
+        let mut dec = Dec::new(bytes);
+        read_header(
+            &mut dec,
+            self.config_digest(),
+            trace_digest(trace),
+            trace.len(),
+        )?;
+        for u in &mut self.units {
+            load_unit(&mut dec, u)?;
+        }
+        self.cache.load_state(&mut dec)?;
+        self.sched
+            .as_mut()
+            .expect("restore outside a scheduling pass")
+            .load_state(&mut dec)?;
+        self.batcher.load_state(&mut dec)?;
+        self.store.load_state(&mut dec)?;
+        if dec.bool()? != self.autoscaler.is_some() {
+            return Err(SnapError::Corrupt("autoscaler presence mismatch"));
+        }
+        if let Some(a) = self.autoscaler.as_mut() {
+            a.load_state(&mut dec)?;
+        }
+        let qlen = dec.usize()?;
+        let mut queue = VecDeque::with_capacity(qlen.min(dec.remaining()));
+        for _ in 0..qlen {
+            queue.push_back(load_request(&mut dec)?);
+        }
+        self.global_queue = queue;
+        self.metrics = MetricsCollector::load_state(&mut dec)?;
+        self.now = dec.time()?;
+        self.last_completion = dec.time()?;
+        self.hot_model = if dec.bool()? {
+            Some(ModelId(dec.u32()?))
+        } else {
+            None
+        };
+        self.local_moves = dec.u64()?;
+        self.crashes = dec.u64()?;
+        self.dispatch_seq = dec.u64()?;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = dec.u64()?;
+        }
+        if rng_state == [0u64; 4] {
+            return Err(SnapError::Corrupt("all-zero rng state"));
+        }
+        self.rng = DetRng::from_state(rng_state);
+        self.scale_ups = dec.u64()?;
+        self.scale_downs = dec.u64()?;
+        self.online_low = dec.usize()?;
+        self.online_high = dec.usize()?;
+        self.pending_total = dec.u64()?;
+        self.idle_online = dec.usize()?;
+        self.holding_units = dec.usize()?;
+        self.draining_units = dec.usize()?;
+        self.busy_secs = dec.f64()?;
+        self.events = load_events(&mut dec)?;
+        self.next_arrival = dec.usize()?;
+        if self.next_arrival > trace.len() {
+            return Err(SnapError::Corrupt("arrival cursor past trace end"));
+        }
+        self.run_started = dec.bool()?;
+        #[cfg(feature = "simcheck")]
+        self.simcheck.load_state(&mut dec)?;
+        #[cfg(not(feature = "simcheck"))]
+        {
+            let _ = dec.u64()?;
+            let _ = dec.time()?;
+            let _ = dec.u64()?;
+            let _ = dec.u64()?;
+            let _ = dec.time()?;
+            let _ = dec.usize()?;
+            let _ = dec.u128()?;
+        }
+        dec.finish()?;
+        // Derived state follows the restored queues.
+        for gi in 0..self.units.len() {
+            self.agg_rebuild(gi);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Speculative what-if scheduling (the lookahead policy's fork engine)
+    // ------------------------------------------------------------------
+
+    /// Forks the world, performs one candidate placement for the queued
+    /// request at `queue_index`, replays up to `horizon` pending runtime
+    /// events under a plain greedy LALBO3 scheduler, scores the outcome,
+    /// and rolls everything back. The fork is invisible: recorder and
+    /// datastore are stashed for its duration, and every other mutable
+    /// bit — metrics, RNG, residency, queues, the event heap — is
+    /// journaled and restored byte-identically.
+    pub(crate) fn speculate_placement(
+        &mut self,
+        events: &mut EventQueue<Event>,
+        queue_index: usize,
+        placement: SpecPlacement,
+        horizon: usize,
+    ) -> SpecScore {
+        let recorder = self.recorder.take();
+        let datastore = self.datastore.take();
+        let id = self.journal.snapshot(self.capture_image(events));
+        let completed0 = self.metrics.completed();
+        let lat0 = self.metrics.latency_sample_count();
+
+        // The candidate leaves the global queue before placement — the
+        // same bookkeeping as `SchedCtx::take_queued`, so conservation
+        // audits hold inside the fork.
+        let r = self
+            .global_queue
+            .remove(queue_index)
+            .expect("speculated index in bounds");
+        let qlen = self.global_queue.len();
+        let now = self.now;
+        self.note_queue_depth(now, qlen);
+        match placement {
+            SpecPlacement::HitOn(g) => self.dispatch_batched(g.0 as usize, r, true, events),
+            SpecPlacement::MissOn(g) => self.dispatch_batched(g.0 as usize, r, false, events),
+            SpecPlacement::WaitOn(g) => {
+                let gi = g.0 as usize;
+                self.agg_push(gi, &r);
+                self.units[gi].local_queue.push_back(r);
+                self.local_moves += 1;
+            }
+        }
+
+        // The fork starts mid-pass: idle GPUs *after* the served one in
+        // the round's order still have undrained local queues, which the
+        // rest of the outer round would serve next (Algorithm 1's local
+        // priority). Serve them now so the replay's own passes see the
+        // post-round invariant — an idle GPU never sits on queued work.
+        for gi in 0..self.units.len() {
+            if self.units[gi].state != UnitState::Offline && self.units[gi].is_idle() {
+                if let Some(r) = self.units[gi].local_queue.pop_front() {
+                    self.agg_remove(gi, &r);
+                    self.dispatch_batched(gi, r, true, events);
+                }
+            }
+        }
+
+        // Inside the fork the world advances under greedy LALBO3 — the
+        // lookahead recursing into its own forks would never terminate.
+        // Future *arrivals* are invisible to the fork; only the already
+        // -pending runtime events replay.
+        let outer = self
+            .sched
+            .replace(Box::new(LalbScheduler::new(DEFAULT_O3_LIMIT)));
+        for _ in 0..horizon {
+            let Some((t, ev)) = events.pop() else {
+                break;
+            };
+            debug_assert!(t >= self.now, "event delivered out of order");
+            self.profile.events_popped += 1;
+            self.now = t;
+            #[cfg(feature = "simcheck")]
+            if self.simcheck.on_event(t) {
+                self.audit_invariants();
+            }
+            self.handle_event(ev, events);
+        }
+        self.sched = outer;
+
+        // The waiting bill: completions pay their latency, everything
+        // still outstanding pays its age as of the fork's end time.
+        let end = self.now;
+        let age = |r: &Request| end.duration_since(r.arrival).as_micros() as u128;
+        let mut cost_ticks = self.metrics.latency_ticks_from(lat0) as u128;
+        cost_ticks += self.global_queue.iter().map(age).sum::<u128>();
+        let mut pending = self.global_queue.len();
+        for u in &self.units {
+            pending += u.local_queue.len();
+            cost_ticks += u.local_queue.iter().map(age).sum::<u128>();
+            if let Some(f) = &u.in_flight {
+                cost_ticks += f.requests.iter().map(age).sum::<u128>();
+            }
+            if let Some(h) = &u.holding {
+                cost_ticks += h.requests.iter().map(age).sum::<u128>();
+            }
+        }
+        let score = SpecScore {
+            completed: self.metrics.completed() - completed0,
+            cost_ticks,
+            pending,
+        };
+
+        // `take` (not commit) retires only this fork's frame, so pins
+        // the caller holds across the pass survive.
+        let img = self.journal.take(id).expect("speculation frame is live");
+        self.apply_image(img, events);
+        self.recorder = recorder;
+        self.datastore = datastore;
+        score
+    }
+
+    /// [`GpuUnit::estimated_join_wait`] evaluated from the incremental
+    /// aggregate: the preceding coalesced groups are charged from
+    /// [`LocalAgg`]'s first-push-ordered sums and the walk early-returns
+    /// at the request's own group, so the estimate costs O(preceding
+    /// groups) instead of rebuilding a group list from the whole queue on
+    /// every call. Byte-identical to the naive walk (same group order,
+    /// same totals); debug builds assert that on every call, which is
+    /// also what the property tests lean on.
+    fn estimated_join_wait_fast(&self, gi: usize, model: ModelId) -> SimDuration {
+        self.estimator_calls.set(self.estimator_calls.get() + 1);
+        let unit = &self.units[gi];
+        let mut wait = unit
+            .device
+            .busy_until()
+            .map(|t| t.duration_since(self.now))
+            .unwrap_or(SimDuration::ZERO);
+        'done: {
+            if let Some(f) = &unit.in_flight {
+                if f.phase == Phase::Loading {
+                    if f.model() == model {
+                        break 'done; // joins the forming invocation
+                    }
+                    wait += self.infer_time_on(gi, f.model(), f.items());
+                }
+            }
+            if let Some(h) = &unit.holding {
+                wait += h.release_at.duration_since(self.now.min(h.release_at));
+                if h.model() == model {
+                    break 'done; // joins the held batch at its release
+                }
+                if !unit.device.has_model(h.model()) {
+                    wait += self.load_time_on(gi, h.model());
+                }
+                wait += self.infer_time_on(gi, h.model(), h.items());
+            }
+            for &(m, items, _) in &self.local_aggs[gi].groups {
+                if m == model {
+                    break 'done; // shares its own group's invocation
+                }
+                if !unit.device.has_model(m) {
+                    wait += self.load_time_on(gi, m);
+                }
+                wait += self.infer_time_on(gi, m, items);
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let spec = unit.device.spec();
+            let (compute_scale, load_scale) = (spec.compute_scale, spec.load_scale);
+            let registry = &self.registry;
+            let naive = unit.estimated_join_wait(
+                self.now,
+                model,
+                |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
+                |m| self.load_cost_scaled(m, load_scale),
+            );
+            debug_assert_eq!(wait, naive, "join-wait aggregate out of sync on GPU {gi}");
+        }
+        wait
+    }
+}
+
+/// A deep copy of every piece of mutable simulation state, pinned in the
+/// snapshot journal. GPU units, queues, and the event heap are plain
+/// clones; policy objects (scheduler, batcher, store, evictor inside the
+/// cache, autoscaler) contribute their mutable state through the same
+/// save/load hooks the on-disk checkpoint uses. Scratch buffers
+/// (`batch_pool`, `idle_scratch`, `obs_scratch`) and attached sinks
+/// (recorder, datastore) are deliberately not part of the image.
+#[derive(Clone)]
+struct ClusterImage {
+    units: Vec<GpuUnit>,
+    cache_blob: Vec<u8>,
+    /// `None` exactly when captured during a scheduling pass (the policy
+    /// is `mem::take`n then) — restore must agree on presence.
+    sched_blob: Option<Vec<u8>>,
+    batcher_blob: Vec<u8>,
+    store_blob: Vec<u8>,
+    autoscaler_blob: Option<Vec<u8>>,
+    global_queue: VecDeque<Request>,
+    metrics: MetricsImage,
+    now: SimTime,
+    last_completion: SimTime,
+    hot_model: Option<ModelId>,
+    local_moves: u64,
+    crashes: u64,
+    dispatch_seq: u64,
+    rng: [u64; 4],
+    scale_ups: u64,
+    scale_downs: u64,
+    online_low: usize,
+    online_high: usize,
+    pending_total: u64,
+    idle_online: usize,
+    holding_units: usize,
+    draining_units: usize,
+    busy_secs: f64,
+    local_aggs: Vec<LocalAgg>,
+    events: EventQueue<Event>,
+    next_arrival: usize,
+    run_started: bool,
+    profile: SelfProfile,
+    estimator_calls: u64,
+    #[cfg(feature = "simcheck")]
+    simcheck: SimChecker,
+}
+
+/// A candidate placement a lookahead policy can fork on — the three §IV
+/// arms, addressed at an explicit GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecPlacement {
+    /// Dispatch as a cache hit on this idle GPU.
+    HitOn(GpuId),
+    /// Join this busy GPU's local queue (Algorithm 2's wait arm).
+    WaitOn(GpuId),
+    /// Dispatch as a miss — load the model — on this idle GPU.
+    MissOn(GpuId),
+}
+
+/// What a speculative fork observed over its replay horizon. Compared
+/// lexicographically: more completions, then a smaller waiting bill.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecScore {
+    /// Requests completed inside the fork.
+    pub completed: u64,
+    /// The fork's total waiting bill in integer microseconds: latency
+    /// accumulated by its completions *plus* the age (time since
+    /// arrival) of every request still outstanding — queued globally or
+    /// locally, in flight, or held in a forming batch — when the horizon
+    /// ended. Charging outstanding work its age (not a headcount) makes
+    /// starvation visible to the scorer: a placement that serves the
+    /// young and strands the old loses to one that drains the tail.
+    pub cost_ticks: u128,
+    /// Requests still queued (global + local) when the horizon ended.
+    pub pending: usize,
+}
+
+impl SpecScore {
+    /// Strict "this fork won": ties on every field answer false, so a
+    /// deterministic caller iterating candidates in index order keeps
+    /// the earliest of equals.
+    pub fn better_than(&self, other: &SpecScore) -> bool {
+        if self.completed != other.completed {
+            return self.completed > other.completed;
+        }
+        if self.cost_ticks != other.cost_ticks {
+            return self.cost_ticks < other.cost_ticks;
+        }
+        self.pending < other.pending
+    }
+}
+
+/// FNV digest over the trace's observable arrival stream — the
+/// checkpoint envelope's proof that a warm start resumes the same
+/// workload it paused.
+fn trace_digest(trace: &Trace) -> u64 {
+    let mut h = Fnv1a::new();
+    for r in trace.requests() {
+        h.write_u64(r.at.as_micros());
+        h.write_u64(r.function as u64);
+        h.write_u64(r.model as u64);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint codecs for the driver-owned plain-data state
+// ---------------------------------------------------------------------------
+
+fn save_request(enc: &mut Enc, r: &Request) {
+    enc.put_u64(r.id);
+    enc.put_u32(r.function);
+    enc.put_u32(r.model.0);
+    enc.put_usize(r.batch);
+    enc.put_time(r.arrival);
+    enc.put_u32(r.visits);
+    enc.put_u16(r.tenant);
+}
+
+fn load_request(dec: &mut Dec<'_>) -> Result<Request, SnapError> {
+    Ok(Request {
+        id: dec.u64()?,
+        function: dec.u32()?,
+        model: ModelId(dec.u32()?),
+        batch: dec.usize()?,
+        arrival: dec.time()?,
+        visits: dec.u32()?,
+        tenant: dec.u16()?,
+    })
+}
+
+fn save_inflight(enc: &mut Enc, f: &InFlight) {
+    enc.put_usize(f.requests.len());
+    for r in &f.requests {
+        save_request(enc, r);
+    }
+    enc.put_u8(match f.phase {
+        Phase::Loading => 0,
+        Phase::Running => 1,
+    });
+    enc.put_bool(f.was_hit);
+    enc.put_time(f.started);
+    enc.put_u64(f.seq);
+    enc.put_u8(f.tier.0);
+}
+
+fn load_inflight(dec: &mut Dec<'_>) -> Result<InFlight, SnapError> {
+    let n = dec.usize()?;
+    let mut requests = Vec::with_capacity(n.min(dec.remaining()));
+    for _ in 0..n {
+        requests.push(load_request(dec)?);
+    }
+    let phase = match dec.u8()? {
+        0 => Phase::Loading,
+        1 => Phase::Running,
+        _ => return Err(SnapError::Corrupt("unknown in-flight phase")),
+    };
+    Ok(InFlight {
+        requests,
+        phase,
+        was_hit: dec.bool()?,
+        started: dec.time()?,
+        seq: dec.u64()?,
+        tier: Tier(dec.u8()?),
+    })
+}
+
+fn save_hold(enc: &mut Enc, h: &HoldSlot) {
+    enc.put_usize(h.requests.len());
+    for r in &h.requests {
+        save_request(enc, r);
+    }
+    enc.put_usize(h.max_requests);
+    enc.put_bool(h.hit);
+    enc.put_time(h.release_at);
+    enc.put_u64(h.seq);
+}
+
+fn load_hold(dec: &mut Dec<'_>) -> Result<HoldSlot, SnapError> {
+    let n = dec.usize()?;
+    let mut requests = Vec::with_capacity(n.min(dec.remaining()));
+    for _ in 0..n {
+        requests.push(load_request(dec)?);
+    }
+    Ok(HoldSlot {
+        requests,
+        max_requests: dec.usize()?,
+        hit: dec.bool()?,
+        release_at: dec.time()?,
+        seq: dec.u64()?,
+    })
+}
+
+fn save_unit(enc: &mut Enc, u: &GpuUnit) {
+    u.device.save_state(enc);
+    enc.put_usize(u.local_queue.len());
+    for r in &u.local_queue {
+        save_request(enc, r);
+    }
+    enc.put_bool(u.in_flight.is_some());
+    if let Some(f) = &u.in_flight {
+        save_inflight(enc, f);
+    }
+    enc.put_bool(u.holding.is_some());
+    if let Some(h) = &u.holding {
+        save_hold(enc, h);
+    }
+    enc.put_u64(u.hits);
+    enc.put_time(u.idle_since);
+    enc.put_u8(match u.state {
+        UnitState::Online => 0,
+        UnitState::Draining => 1,
+        UnitState::Offline => 2,
+    });
+    enc.put_time(u.online_since);
+    enc.put_dur(u.provisioned);
+}
+
+fn load_unit(dec: &mut Dec<'_>, u: &mut GpuUnit) -> Result<(), SnapError> {
+    u.device.load_state(dec)?;
+    let n = dec.usize()?;
+    let mut queue = VecDeque::with_capacity(n.min(dec.remaining()));
+    for _ in 0..n {
+        queue.push_back(load_request(dec)?);
+    }
+    u.local_queue = queue;
+    u.in_flight = if dec.bool()? {
+        Some(load_inflight(dec)?)
+    } else {
+        None
+    };
+    u.holding = if dec.bool()? {
+        Some(load_hold(dec)?)
+    } else {
+        None
+    };
+    u.hits = dec.u64()?;
+    u.idle_since = dec.time()?;
+    u.state = match dec.u8()? {
+        0 => UnitState::Online,
+        1 => UnitState::Draining,
+        2 => UnitState::Offline,
+        _ => return Err(SnapError::Corrupt("unknown unit state")),
+    };
+    u.online_since = dec.time()?;
+    u.provisioned = dec.dur()?;
+    Ok(())
+}
+
+fn save_events(enc: &mut Enc, q: &EventQueue<Event>) {
+    enc.put_u64(q.next_seq());
+    enc.put_u64(q.total_scheduled());
+    enc.put_u64(q.total_delivered());
+    let entries = q.entries();
+    enc.put_usize(entries.len());
+    for (t, seq, ev) in entries {
+        enc.put_time(t);
+        enc.put_u64(seq);
+        save_event(enc, ev);
+    }
+}
+
+fn load_events(dec: &mut Dec<'_>) -> Result<EventQueue<Event>, SnapError> {
+    let next_seq = dec.u64()?;
+    let scheduled = dec.u64()?;
+    let delivered = dec.u64()?;
+    let n = dec.usize()?;
+    let mut entries = Vec::with_capacity(n.min(dec.remaining()));
+    for _ in 0..n {
+        let t = dec.time()?;
+        let seq = dec.u64()?;
+        entries.push((t, seq, load_event(dec)?));
+    }
+    Ok(EventQueue::from_parts(
+        entries, next_seq, scheduled, delivered,
+    ))
+}
+
+fn save_event(enc: &mut Enc, ev: &Event) {
+    match ev {
+        Event::GpuDone(g, seq) => {
+            enc.put_u8(0);
+            enc.put_u16(g.0);
+            enc.put_u64(*seq);
+        }
+        Event::GpuCrash(g, seq) => {
+            enc.put_u8(1);
+            enc.put_u16(g.0);
+            enc.put_u64(*seq);
+        }
+        Event::ScaleTick => enc.put_u8(2),
+        Event::BatchHold(g, seq) => {
+            enc.put_u8(3);
+            enc.put_u16(g.0);
+            enc.put_u64(*seq);
+        }
+        Event::ObsTick => enc.put_u8(4),
+    }
+}
+
+fn load_event(dec: &mut Dec<'_>) -> Result<Event, SnapError> {
+    Ok(match dec.u8()? {
+        0 => Event::GpuDone(GpuId(dec.u16()?), dec.u64()?),
+        1 => Event::GpuCrash(GpuId(dec.u16()?), dec.u64()?),
+        2 => Event::ScaleTick,
+        3 => Event::BatchHold(GpuId(dec.u16()?), dec.u64()?),
+        4 => Event::ObsTick,
+        _ => return Err(SnapError::Corrupt("unknown event tag")),
+    })
 }
 
 /// The borrowed cluster view a [`SchedulerPolicy`] works through during a
@@ -1990,6 +2912,13 @@ impl SchedCtx<'_> {
         self.cluster.units[gpu.0 as usize].is_idle()
     }
 
+    /// Requests waiting in `gpu`'s local queue. An idle GPU with a
+    /// backlog is mid-pass — Algorithm 1's local priority will serve it
+    /// before new work may target it, so hit-elsewhere arms must skip it.
+    pub fn local_backlog(&self, gpu: GpuId) -> usize {
+        self.cluster.units[gpu.0 as usize].local_queue.len()
+    }
+
     /// Cache hits `gpu` has served (Algorithm 1's frequency ordering key).
     pub fn hits(&self, gpu: GpuId) -> u64 {
         self.cluster.units[gpu.0 as usize].hits
@@ -2023,17 +2952,7 @@ impl SchedCtx<'_> {
         if self.cluster.batcher.is_passthrough() {
             return self.estimated_wait(gpu);
         }
-        let gi = gpu.0 as usize;
-        let cluster = &*self.cluster;
-        let spec = cluster.units[gi].device.spec();
-        let (compute_scale, load_scale) = (spec.compute_scale, spec.load_scale);
-        let registry = &cluster.registry;
-        cluster.units[gi].estimated_join_wait(
-            cluster.now,
-            model,
-            |m, b| registry.infer_time(m, b).mul_f64(compute_scale),
-            |m| cluster.load_cost_scaled(m, load_scale),
-        )
+        self.cluster.estimated_join_wait_fast(gpu.0 as usize, model)
     }
 
     /// Time to upload `model` onto `gpu` (scaled by its PCIe profile).
@@ -2117,6 +3036,37 @@ impl SchedCtx<'_> {
         self.cluster.units[gi].local_queue.push_back(r);
         self.cluster.local_moves += 1;
         self.progress = true;
+    }
+
+    /// Dispatches `r` as a cache miss (load, then inference) on idle GPU
+    /// `gpu` — completes the placement command set so a policy can
+    /// execute any [`SpecPlacement`] it scored, not just the arms
+    /// addressed at the GPU currently being served.
+    pub fn dispatch_miss(&mut self, gpu: GpuId, r: Request) {
+        let gi = gpu.0 as usize;
+        if self.cluster.recorder.is_some() {
+            let id = r.id;
+            self.cluster.emit(ObsEvent::SchedArm {
+                req: id,
+                arm: Arm::Miss,
+            });
+        }
+        self.cluster.dispatch_batched(gi, r, false, self.events);
+        self.progress = true;
+    }
+
+    /// What-if fork: tries placing the queued request at `queue_index`
+    /// per `placement`, replays up to `horizon` pending runtime events
+    /// under greedy LALBO3, and reports the outcome — then restores the
+    /// world byte-identically, as if the fork never ran.
+    pub fn speculate(
+        &mut self,
+        queue_index: usize,
+        placement: SpecPlacement,
+        horizon: usize,
+    ) -> SpecScore {
+        self.cluster
+            .speculate_placement(self.events, queue_index, placement, horizon)
     }
 
     /// Executes a policy's dispatch for `gpu` (driver-internal).
@@ -3036,5 +3986,221 @@ mod tests {
         // gpu0 evicted nothing (1000 MiB fits both models), served all
         // three: the repeat of m0 is a hit because gpu0 still holds it.
         assert_eq!(m.misses, 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Versioned state: snapshot / rollback / checkpoint / lookahead
+    // ------------------------------------------------------------------
+
+    /// A busy little workload: 30 requests over 6 models on 3 GPUs with
+    /// 300 MiB each (evictions!), batching and autoscaling enabled — every
+    /// journaled component carries non-trivial state.
+    fn snap_fixture() -> (ClusterConfig, Trace) {
+        let mut cfg = ClusterConfig::test(3, 300, Policy::lalbo3());
+        cfg.batching = "coalesce:max=4,wait=0.05".parse().unwrap();
+        cfg.autoscale = Some("queue:min=2,max=4,up=6,down=1".parse().unwrap());
+        let reqs: Vec<(f64, u32)> = (0..30).map(|i| (i as f64 * 0.13, (i % 6) as u32)).collect();
+        (cfg, trace_of(&reqs))
+    }
+
+    fn snap_cluster(cfg: &ClusterConfig) -> Cluster {
+        Cluster::new(cfg.clone(), toy_registry(6))
+    }
+
+    #[test]
+    fn run_until_then_resume_is_byte_identical_to_a_full_run() {
+        let (cfg, t) = snap_fixture();
+        let full = snap_cluster(&cfg).run(&t);
+        let mut paused = snap_cluster(&cfg);
+        paused.run_until(&t, SimTime::from_secs_f64(3.0));
+        assert!(paused.metrics.completed() > 0, "the pause point is mid-run");
+        assert!(paused.metrics.completed() < 30);
+        paused.run_until(&t, SimTime::from_secs_f64(5.0));
+        assert_eq!(paused.resume(&t), full, "pausing must not perturb the run");
+    }
+
+    #[test]
+    fn rollback_restores_byte_identical_state() {
+        let (cfg, t) = snap_fixture();
+        let mut c = snap_cluster(&cfg);
+        c.run_until(&t, SimTime::from_secs_f64(1.3));
+        let before = c.checkpoint(&t);
+        let id = c.snapshot();
+        assert_eq!(c.journal_depth(), 1);
+        c.run_until(&t, SimTime::from_secs_f64(2.9));
+        assert_ne!(c.checkpoint(&t), before, "the run advanced past the pin");
+        assert!(c.rollback(id));
+        // The checkpoint codec serialises every field of mutable state, so
+        // byte equality here is the strongest restore check we can make.
+        assert_eq!(c.checkpoint(&t), before, "rollback must be byte-exact");
+        // The pin survives rollback: advance and rewind a second time.
+        c.run_until(&t, SimTime::from_secs_f64(4.2));
+        assert!(c.rollback(id));
+        assert_eq!(c.checkpoint(&t), before);
+        // A rolled-back cluster finishes exactly like an unperturbed one.
+        let full = snap_cluster(&cfg).run(&t);
+        assert_eq!(c.resume(&t), full);
+    }
+
+    #[test]
+    fn commit_retires_pins_and_rollback_of_retired_pin_fails() {
+        let (cfg, t) = snap_fixture();
+        let mut c = snap_cluster(&cfg);
+        c.run_until(&t, SimTime::from_secs_f64(1.0));
+        let old = c.snapshot();
+        c.run_until(&t, SimTime::from_secs_f64(1.5));
+        let new = c.snapshot();
+        assert_eq!(c.journal_depth(), 2);
+        // Committing the newer pin retires it *and* everything older.
+        assert!(c.commit(new));
+        assert_eq!(c.journal_depth(), 0);
+        assert!(!c.rollback(old), "retired pins must not restore");
+        assert!(!c.rollback(new));
+        assert!(!c.commit(new), "double-commit is rejected");
+        let stats = c.journal_stats();
+        assert_eq!(stats.snapshots, 2);
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.rollbacks, 0, "failed rollbacks do not count");
+    }
+
+    #[test]
+    fn plain_runs_never_touch_the_journal() {
+        // Zero-cost guarantee: without snapshots or lookahead, the
+        // journal stays empty for the whole run.
+        let (cfg, t) = snap_fixture();
+        let mut c = snap_cluster(&cfg);
+        c.run(&t);
+        let stats = c.journal_stats();
+        assert_eq!(stats.snapshots, 0);
+        assert_eq!(stats.rollbacks, 0);
+        assert_eq!(stats.commits, 0);
+        assert_eq!(c.journal_depth(), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_warm_start_is_byte_identical() {
+        let (cfg, t) = snap_fixture();
+        let full = snap_cluster(&cfg).run(&t);
+        let mut c = snap_cluster(&cfg);
+        c.run_until(&t, SimTime::from_secs_f64(1.9));
+        let bytes = c.checkpoint(&t);
+        // Restore into a *fresh* cluster with the same config and warm-start.
+        let mut warm = snap_cluster(&cfg);
+        warm.restore(&bytes, &t).unwrap();
+        assert_eq!(warm.checkpoint(&t), bytes, "restore round-trips the wire");
+        assert_eq!(warm.resume(&t), full, "warm start reproduces the full run");
+        // The original paused cluster agrees too.
+        assert_eq!(c.resume(&t), full);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_corrupt_checkpoints() {
+        let (cfg, t) = snap_fixture();
+        let mut c = snap_cluster(&cfg);
+        c.run_until(&t, SimTime::from_secs_f64(1.0));
+        let bytes = c.checkpoint(&t);
+
+        // Wrong config: different fleet size.
+        let mut other = Cluster::new(
+            ClusterConfig::test(4, 300, Policy::lalbo3()),
+            toy_registry(6),
+        );
+        assert!(matches!(
+            other.restore(&bytes, &t),
+            Err(SnapError::ConfigMismatch)
+        ));
+
+        // Wrong trace: one extra request.
+        let mut reqs: Vec<(f64, u32)> =
+            (0..30).map(|i| (i as f64 * 0.13, (i % 6) as u32)).collect();
+        reqs.push((9.9, 0));
+        assert!(matches!(
+            snap_cluster(&cfg).restore(&bytes, &trace_of(&reqs)),
+            Err(SnapError::TraceMismatch)
+        ));
+
+        // Truncated payload.
+        assert!(snap_cluster(&cfg)
+            .restore(&bytes[..bytes.len() - 3], &t)
+            .is_err());
+
+        // Corrupt magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            snap_cluster(&cfg).restore(&bad, &t),
+            Err(SnapError::BadMagic)
+        ));
+
+        // A failed restore leaves the target untouched and runnable.
+        let full = snap_cluster(&cfg).run(&t);
+        let mut target = snap_cluster(&cfg);
+        assert!(target.restore(&bad, &t).is_err());
+        assert_eq!(target.run(&t), full);
+    }
+
+    /// A test cluster driven by the lookahead what-if scheduler.
+    fn lookahead_cluster(gpus: usize, mem_mib: u64, nmodels: usize, k: usize) -> Cluster {
+        let cfg = ClusterConfig::test(gpus, mem_mib, Policy::lalbo3());
+        let seed = cfg.seed;
+        Cluster::with_policies(
+            cfg,
+            toy_registry(nmodels),
+            Box::new(crate::scheduler::LookaheadScheduler::new(k, 8, 25)),
+            crate::cache::ReplacementPolicy::Lru.build(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookahead_serves_every_request_and_retires_every_fork() {
+        let reqs: Vec<(f64, u32)> = (0..60).map(|i| (i as f64 * 0.09, (i % 5) as u32)).collect();
+        let t = trace_of(&reqs);
+        let mut c = lookahead_cluster(3, 300, 5, 4);
+        assert_eq!(c.scheduler_name(), "Lookahead(k=4,h=8)");
+        let m = c.run(&t);
+        assert_eq!(m.completed, 60);
+        let stats = c.journal_stats();
+        assert!(stats.snapshots > 0, "contended placements must speculate");
+        assert_eq!(
+            stats.snapshots, stats.rollbacks,
+            "every fork is rolled back, none leaks"
+        );
+        assert_eq!(c.journal_depth(), 0, "no frames survive the run");
+    }
+
+    #[test]
+    fn lookahead_runs_are_deterministic() {
+        let reqs: Vec<(f64, u32)> = (0..60).map(|i| (i as f64 * 0.09, (i % 5) as u32)).collect();
+        let t = trace_of(&reqs);
+        let a = lookahead_cluster(3, 300, 5, 4).run(&t);
+        let b = lookahead_cluster(3, 300, 5, 4).run(&t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookahead_with_k1_executes_without_forking() {
+        // k=1 keeps only the first candidate arm: placement is decided
+        // without speculation, so the journal must stay untouched.
+        let reqs: Vec<(f64, u32)> = (0..40).map(|i| (i as f64 * 0.11, (i % 4) as u32)).collect();
+        let t = trace_of(&reqs);
+        let mut c = lookahead_cluster(2, 300, 4, 1);
+        let m = c.run(&t);
+        assert_eq!(m.completed, 40);
+        assert_eq!(c.journal_stats().snapshots, 0);
+    }
+
+    #[test]
+    fn speculation_does_not_perturb_the_chosen_timeline() {
+        // The lookahead run must itself be a valid simulation: conserve
+        // requests and, like every policy, produce identical metrics when
+        // paused and resumed (the fork/rollback machinery composes with
+        // the user-facing snapshot API).
+        let reqs: Vec<(f64, u32)> = (0..50).map(|i| (i as f64 * 0.08, (i % 5) as u32)).collect();
+        let t = trace_of(&reqs);
+        let full = lookahead_cluster(3, 300, 5, 4).run(&t);
+        let mut paused = lookahead_cluster(3, 300, 5, 4);
+        paused.run_until(&t, SimTime::from_secs_f64(2.0));
+        assert_eq!(paused.resume(&t), full);
     }
 }

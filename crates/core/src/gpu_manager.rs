@@ -135,7 +135,7 @@ pub enum UnitState {
 }
 
 /// Per-GPU execution state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GpuUnit {
     /// The simulated device.
     pub device: GpuDevice,

@@ -59,6 +59,12 @@ pub mod tinylfu;
 /// (ledger / Perfetto / sampler), and the `--record` spec.
 pub use gfaas_obs as obs;
 
+/// Re-export of the versioned-state layer ([`gfaas_snap`]): the undo-log
+/// [`snap::Journal`] behind [`cluster::Cluster::snapshot`] /
+/// [`cluster::Cluster::rollback`], plus the checkpoint wire codec
+/// ([`snap::Enc`] / [`snap::Dec`]) and its header/digest helpers.
+pub use gfaas_snap as snap;
+
 /// Re-export of the storage hierarchy ([`gfaas_store`]): the
 /// [`store::ModelStore`] backend trait behind the cluster's load path,
 /// the flat (paper-identical) and tiered (HBM ↔ host ↔ origin) backends,
@@ -70,7 +76,7 @@ pub use autoscale::{
 };
 pub use batching::{AdaptiveBatch, BatchPlan, BatchPolicy, BatchView, CoalesceBatch, NoBatch};
 pub use cache::{CacheManager, Evictor, FifoEvictor, LruEvictor, RandomEvictor, ReplacementPolicy};
-pub use cluster::{Cluster, ScaleView, SchedCtx};
+pub use cluster::{Cluster, ScaleView, SchedCtx, SpecPlacement, SpecScore};
 pub use config::{ClusterConfig, ConfigError};
 pub use gfaas_obs::{NullRecorder, ObsEvent, RecordSpec, Recorder, SelfProfile};
 pub use gfaas_store::{FlatStore, ModelStore, StoreError, StoreSpec, StoreStats, TieredStore};
@@ -78,5 +84,7 @@ pub use live::{LiveResponse, LiveServer};
 pub use metrics::RunMetrics;
 pub use policy::{PolicyError, PolicyRegistry, PolicySpec};
 pub use request::Request;
-pub use scheduler::{Dispatch, LalbScheduler, LbScheduler, Policy, SchedulerPolicy};
+pub use scheduler::{
+    Dispatch, LalbScheduler, LbScheduler, LookaheadScheduler, Policy, SchedulerPolicy,
+};
 pub use tinylfu::TinyLfuEvictor;

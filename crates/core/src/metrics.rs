@@ -10,6 +10,7 @@
 
 use gfaas_sim::stats::{Histogram, Ratio, TimeWeighted, Welford};
 use gfaas_sim::time::{SimDuration, SimTime};
+use gfaas_snap::{Dec, Enc, SnapError};
 
 /// Live collector, updated by the cluster driver as events complete.
 #[derive(Debug)]
@@ -123,6 +124,176 @@ impl MetricsCollector {
         self.completed
     }
 
+    /// Sum of the latency histogram's samples in whole microseconds, for
+    /// the simcheck ledger cross-check. Each sample was pushed as a
+    /// `SimDuration` converted to seconds; whole-microsecond counts below
+    /// 2^53 round-trip through `f64` exactly, so rounding back recovers
+    /// the original integer tick count.
+    pub fn latency_tick_sum(&self) -> u64 {
+        self.latency_hist
+            .samples()
+            .iter()
+            .map(|&secs| (secs * 1e6).round() as u64)
+            .sum()
+    }
+
+    /// Latency samples recorded so far (completions), for delta scoring.
+    pub(crate) fn latency_sample_count(&self) -> usize {
+        self.latency_hist.mark().0
+    }
+
+    /// [`MetricsCollector::latency_tick_sum`] restricted to samples from
+    /// index `start` on — what a speculative replay scores its own
+    /// completions with, without re-walking the whole histogram.
+    pub(crate) fn latency_ticks_from(&self, start: usize) -> u64 {
+        self.latency_hist.samples()[start..]
+            .iter()
+            .map(|&secs| (secs * 1e6).round() as u64)
+            .sum()
+    }
+
+    /// Captures the collector's mutable state for the snapshot journal.
+    /// The latency histogram is captured as a rewind mark (two words)
+    /// rather than a sample-buffer clone: during a run nothing but
+    /// `push` touches it (quantile queries happen only in
+    /// [`MetricsCollector::finish`]), which is exactly the contract
+    /// [`Histogram::rewind`] requires.
+    pub(crate) fn snapshot_image(&self) -> MetricsImage {
+        MetricsImage {
+            latency: self.latency.clone(),
+            hist_mark: self.latency_hist.mark(),
+            hits: self.hits,
+            false_misses: self.false_misses,
+            duplicates: self.duplicates.clone(),
+            completed: self.completed,
+            queue_peak: self.queue_peak,
+            queue_last_t: self.queue_last_t,
+            queue_last_len: self.queue_last_len,
+            queue_ticks: self.queue_ticks,
+            invocation_batches: self.invocation_batches.clone(),
+            batched_requests: self.batched_requests,
+        }
+    }
+
+    /// Restores the collector to a [`MetricsCollector::snapshot_image`].
+    pub(crate) fn restore_image(&mut self, img: &MetricsImage) {
+        self.latency = img.latency.clone();
+        self.latency_hist.rewind(img.hist_mark);
+        self.hits = img.hits;
+        self.false_misses = img.false_misses;
+        self.duplicates = img.duplicates.clone();
+        self.completed = img.completed;
+        self.queue_peak = img.queue_peak;
+        self.queue_last_t = img.queue_last_t;
+        self.queue_last_len = img.queue_last_len;
+        self.queue_ticks = img.queue_ticks;
+        self.invocation_batches.clone_from(&img.invocation_batches);
+        self.batched_requests = img.batched_requests;
+    }
+
+    /// Serialises the collector for an on-disk checkpoint. Unlike
+    /// [`MetricsCollector::snapshot_image`] this must be standalone, so
+    /// the full histogram sample buffer is written out.
+    pub(crate) fn save_state(&self, enc: &mut Enc) {
+        let (n, mean, m2, min, max) = self.latency.raw_parts();
+        enc.put_u64(n);
+        enc.put_f64(mean);
+        enc.put_f64(m2);
+        enc.put_f64(min);
+        enc.put_f64(max);
+        let (mark_len, sorted) = self.latency_hist.mark();
+        enc.put_f64(self.latency_hist.bin_width());
+        enc.put_usize(self.latency_hist.bins().len());
+        enc.put_usize(mark_len);
+        for &s in self.latency_hist.samples() {
+            enc.put_f64(s);
+        }
+        enc.put_bool(sorted);
+        enc.put_u64(self.hits.hits());
+        enc.put_u64(self.hits.total());
+        enc.put_u64(self.false_misses);
+        let (tw_last, tw_val, tw_int, tw_started, tw_start) = self.duplicates.raw_parts();
+        enc.put_time(tw_last);
+        enc.put_f64(tw_val);
+        enc.put_f64(tw_int);
+        enc.put_bool(tw_started);
+        enc.put_time(tw_start);
+        enc.put_u64(self.completed);
+        enc.put_usize(self.queue_peak);
+        enc.put_time(self.queue_last_t);
+        enc.put_usize(self.queue_last_len);
+        enc.put_u128(self.queue_ticks);
+        enc.put_usize(self.invocation_batches.len());
+        for &n in &self.invocation_batches {
+            enc.put_u64(n);
+        }
+        enc.put_u64(self.batched_requests);
+    }
+
+    /// Rebuilds a collector from [`MetricsCollector::save_state`] bytes.
+    pub(crate) fn load_state(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let n = dec.u64()?;
+        let mean = dec.f64()?;
+        let m2 = dec.f64()?;
+        let min = dec.f64()?;
+        let max = dec.f64()?;
+        let latency = Welford::from_raw_parts((n, mean, m2, min, max));
+        let bin_width = dec.f64()?;
+        let nbins = dec.usize()?;
+        // NaN-safe: a NaN bin width must also be rejected, so the
+        // comparison goes through `partial_cmp`, not a negated `>`.
+        // gfaas-lint: allow(float-ord, decoder validation rejecting NaN — Greater is the only accepted outcome)
+        if bin_width.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || nbins == 0 {
+            return Err(SnapError::Corrupt("invalid histogram configuration"));
+        }
+        let nsamples = dec.usize()?;
+        let mut samples = Vec::with_capacity(nsamples.min(dec.remaining() / 8));
+        for _ in 0..nsamples {
+            samples.push(dec.f64()?);
+        }
+        let sorted = dec.bool()?;
+        let latency_hist = Histogram::from_raw_parts(bin_width, nbins, samples, sorted);
+        let hits_n = dec.u64()?;
+        let total = dec.u64()?;
+        if hits_n > total {
+            return Err(SnapError::Corrupt("hit count exceeds total"));
+        }
+        let hits = Ratio::from_raw_parts(hits_n, total);
+        let false_misses = dec.u64()?;
+        let tw_last = dec.time()?;
+        let tw_val = dec.f64()?;
+        let tw_int = dec.f64()?;
+        let tw_started = dec.bool()?;
+        let tw_start = dec.time()?;
+        let duplicates =
+            TimeWeighted::from_raw_parts((tw_last, tw_val, tw_int, tw_started, tw_start));
+        let completed = dec.u64()?;
+        let queue_peak = dec.usize()?;
+        let queue_last_t = dec.time()?;
+        let queue_last_len = dec.usize()?;
+        let queue_ticks = dec.u128()?;
+        let nbatches = dec.usize()?;
+        let mut invocation_batches = Vec::with_capacity(nbatches.min(dec.remaining() / 8));
+        for _ in 0..nbatches {
+            invocation_batches.push(dec.u64()?);
+        }
+        let batched_requests = dec.u64()?;
+        Ok(MetricsCollector {
+            latency,
+            latency_hist,
+            hits,
+            false_misses,
+            duplicates,
+            completed,
+            queue_peak,
+            queue_last_t,
+            queue_last_len,
+            queue_ticks,
+            invocation_batches,
+            batched_requests,
+        })
+    }
+
     /// Finalises the run into a [`RunMetrics`]. `sm_utilization` is
     /// computed by the caller from the devices; `end` is the completion
     /// time of the last request.
@@ -194,6 +365,26 @@ impl MetricsCollector {
                 .collect(),
         }
     }
+}
+
+/// A journaled image of [`MetricsCollector`]'s mutable state. Everything
+/// is cloned except the latency histogram, whose sample buffer is
+/// append-only during a run and is captured as a
+/// [`Histogram::mark`]/[`Histogram::rewind`] pair instead.
+#[derive(Debug, Clone)]
+pub(crate) struct MetricsImage {
+    latency: Welford,
+    hist_mark: (usize, bool),
+    hits: Ratio,
+    false_misses: u64,
+    duplicates: TimeWeighted,
+    completed: u64,
+    queue_peak: usize,
+    queue_last_t: SimTime,
+    queue_last_len: usize,
+    queue_ticks: u128,
+    invocation_batches: Vec<u64>,
+    batched_requests: u64,
 }
 
 /// Final metrics of one run.
@@ -357,6 +548,57 @@ mod tests {
         assert_eq!(m.avg_effective_batch, 1.0);
         assert_eq!(m.batched_requests, 0);
         assert_eq!(m.effective_batch_hist, vec![(1, 3)]);
+    }
+
+    fn busy_collector() -> MetricsCollector {
+        let mut c = MetricsCollector::new();
+        c.record_completion(SimDuration::from_micros(2_500_000));
+        c.record_completion(SimDuration::from_micros(1_234_567));
+        c.record_dispatch(true, false);
+        c.record_dispatch(false, true);
+        c.record_hot_replicas(SimTime::from_secs(1), 2);
+        c.observe_queue_depth(SimTime::from_secs(0), 4);
+        c.observe_queue_depth(SimTime::from_secs(2), 1);
+        c.record_invocation(2);
+        c
+    }
+
+    #[test]
+    fn latency_tick_sum_is_exact() {
+        let c = busy_collector();
+        assert_eq!(c.latency_tick_sum(), 2_500_000 + 1_234_567);
+    }
+
+    #[test]
+    fn snapshot_image_rolls_back_later_updates() {
+        let mut c = busy_collector();
+        let img = c.snapshot_image();
+        let baseline = format!("{c:?}");
+        c.record_completion(SimDuration::from_secs(9));
+        c.record_dispatch(false, false);
+        c.observe_queue_depth(SimTime::from_secs(5), 9);
+        c.record_invocation(3);
+        c.restore_image(&img);
+        assert_eq!(format!("{c:?}"), baseline);
+        let m = c.finish(SimTime::from_secs(10), 0.0);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.queue_peak, 4);
+    }
+
+    #[test]
+    fn save_load_round_trips_the_collector() {
+        let c = busy_collector();
+        let mut enc = Enc::new();
+        c.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let loaded = MetricsCollector::load_state(&mut dec).expect("load");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(format!("{loaded:?}"), format!("{c:?}"));
+        // The rebuilt collector finalises to the same RunMetrics.
+        let a = busy_collector().finish(SimTime::from_secs(10), 0.25);
+        let b = loaded.finish(SimTime::from_secs(10), 0.25);
+        assert_eq!(a, b);
     }
 
     #[test]

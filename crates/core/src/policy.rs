@@ -28,7 +28,10 @@ use gfaas_store::{ModelStore, StoreSpec};
 
 use crate::batching::{AdaptiveBatch, BatchPolicy, CoalesceBatch, NoBatch};
 use crate::cache::{Evictor, FifoEvictor, LruEvictor, RandomEvictor};
-use crate::scheduler::{LalbScheduler, LbScheduler, SchedulerPolicy, DEFAULT_O3_LIMIT};
+use crate::scheduler::{
+    LalbScheduler, LbScheduler, LookaheadScheduler, SchedulerPolicy, DEFAULT_LOOKAHEAD_HORIZON,
+    DEFAULT_LOOKAHEAD_K, DEFAULT_O3_LIMIT,
+};
 use crate::tinylfu::TinyLfuEvictor;
 
 /// Errors from spec parsing and registry lookup.
@@ -341,6 +344,47 @@ impl PolicyRegistry {
                 .unwrap_or(DEFAULT_O3_LIMIT);
             Ok(Box::new(LalbScheduler::new(limit)))
         });
+        reg.register_scheduler("lookahead", |spec| {
+            // Arg grammar: `k=4,horizon=8[,o3=25]` field=value pairs —
+            // candidate forks per decision, replay depth per fork, and
+            // the O3 starvation limit for the hit scan.
+            let bad = |expected: &'static str| PolicyError::BadArg {
+                key: spec.key().to_string(),
+                arg: spec.arg().unwrap_or_default().to_string(),
+                expected,
+            };
+            let mut k = DEFAULT_LOOKAHEAD_K;
+            let mut horizon = DEFAULT_LOOKAHEAD_HORIZON;
+            let mut o3 = DEFAULT_O3_LIMIT;
+            if let Some(arg) = spec.arg() {
+                for pair in arg.split(',') {
+                    let Some((field, value)) = pair.split_once('=') else {
+                        return Err(bad("field=value pairs (k=, horizon=, o3=)"));
+                    };
+                    match field {
+                        "k" => {
+                            k = value
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&v| v > 0)
+                                .ok_or_else(|| bad("a positive candidate count k"))?
+                        }
+                        "horizon" => {
+                            horizon = value
+                                .parse::<usize>()
+                                .map_err(|_| bad("a replay horizon (events)"))?
+                        }
+                        "o3" => {
+                            o3 = value
+                                .parse::<u32>()
+                                .map_err(|_| bad("a starvation limit (u32)"))?
+                        }
+                        _ => return Err(bad("fields k=, horizon=, o3=")),
+                    }
+                }
+            }
+            Ok(Box::new(LookaheadScheduler::new(k, horizon, o3)))
+        });
         reg.register_evictor("lru", |spec, _seed| {
             spec.expect_no_arg()?;
             Ok(Box::new(LruEvictor::default()))
@@ -574,13 +618,18 @@ mod tests {
     #[test]
     fn builtin_scheduler_resolution() {
         let reg = PolicyRegistry::builtin();
-        assert_eq!(reg.scheduler_keys(), vec!["lalb", "lalbo3", "lb"]);
+        assert_eq!(
+            reg.scheduler_keys(),
+            vec!["lalb", "lalbo3", "lb", "lookahead"]
+        );
         let cases = [
             ("lb", "LB"),
             ("lalb", "LALB"),
             ("lalbo3", "LALBO3"),
             ("lalbo3:25", "LALBO3"),
             ("lalbo3:40", "LALBO3(limit=40)"),
+            ("lookahead", "Lookahead(k=4,h=8)"),
+            ("lookahead:k=2,horizon=16", "Lookahead(k=2,h=16)"),
         ];
         for (spec, name) in cases {
             let got = reg

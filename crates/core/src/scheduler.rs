@@ -29,10 +29,11 @@
 //! as a thin constructor facade, and string specs (`"lb"`, `"lalbo3:25"`)
 //! resolve through [`crate::policy::PolicyRegistry`].
 
-use crate::cluster::SchedCtx;
+use crate::cluster::{SchedCtx, SpecPlacement, SpecScore};
 use crate::config::BusyWaitPolicy;
 use crate::request::Request;
 use gfaas_gpu::GpuId;
+use gfaas_sim::time::SimDuration;
 
 /// The paper's default starvation limit for out-of-order dispatch.
 pub const DEFAULT_O3_LIMIT: u32 = 25;
@@ -140,6 +141,22 @@ pub trait SchedulerPolicy: std::fmt::Debug + Send {
     /// GPUs (hit-elsewhere, wait-on-busy) execute immediately through
     /// `ctx`; the returned [`Dispatch`] is executed on `gpu` itself.
     fn on_gpu_idle(&mut self, gpu: GpuId, ctx: &mut SchedCtx<'_>) -> Dispatch;
+
+    /// Serialises the policy's mutable state for a snapshot or
+    /// checkpoint. The paper's policies (LB, LALB, LALB+O3) are
+    /// stateless — configuration like the O3 limit is rebuilt from the
+    /// spec, not serialised — so the default writes nothing; stateful
+    /// policies must override both hooks symmetrically.
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        let _ = enc;
+    }
+
+    /// Restores state written by [`SchedulerPolicy::save_state`] into a
+    /// policy freshly built from the same spec.
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        let _ = dec;
+        Ok(())
+    }
 }
 
 /// The LB baseline: head of the global queue to the longest-idle GPU,
@@ -202,8 +219,14 @@ impl LalbScheduler {
             // Lines 1–3: cached nowhere → allow the miss here.
             return Some(Dispatch::Miss(r));
         }
-        // Lines 4–6: cached on another idle GPU → hit there.
-        if let Some(&j) = holders.iter().find(|&&j| j != gpu && ctx.is_idle(j)) {
+        // Lines 4–6: cached on another idle GPU → hit there. An idle
+        // holder still carrying a local backlog is mid-pass (its queue
+        // drains under Algorithm 1's local priority before it can accept
+        // new work), so it is not an immediate-hit target.
+        if let Some(&j) = holders
+            .iter()
+            .find(|&&j| j != gpu && ctx.is_idle(j) && ctx.local_backlog(j) == 0)
+        {
             ctx.dispatch_hit(j, r);
             return None;
         }
@@ -294,6 +317,217 @@ impl SchedulerPolicy for LalbScheduler {
             if let Some(d) = Self::locality_load_balance(gpu, r, ctx) {
                 return d;
             }
+        }
+        Dispatch::None
+    }
+}
+
+/// Speculative what-if scheduling on top of the snapshot journal.
+///
+/// Where LALB *estimates* the cost of each §IV placement arm with the
+/// finish-time model, this policy *measures* it: for each of up to `k`
+/// candidate placements (hit on an idle holder, wait at a busy holder,
+/// miss here) it forks the world through [`SchedCtx::speculate`], replays
+/// the next `horizon` pending runtime events under greedy LALBO3, scores
+/// the fork (completions, then latency ticks, then backlog), and rolls
+/// it back byte-identically. The winning arm is then executed for real.
+///
+/// The O3 hit scan (Algorithm 1 lines 6–16) is kept verbatim — a
+/// cached-here hit needs no speculation to be right — so the forks only
+/// pay off on the contended placements where the estimate is blind:
+/// cascading effects of evictions, batch formation, and queue drains
+/// inside the horizon.
+#[derive(Debug, Clone, Copy)]
+pub struct LookaheadScheduler {
+    /// Maximum candidate placements forked per decision.
+    k: usize,
+    /// Pending runtime events replayed inside each fork.
+    horizon: usize,
+    /// Starvation limit for the out-of-order hit scan (as LALB+O3).
+    o3_limit: u32,
+}
+
+/// Default candidate budget for [`LookaheadScheduler`].
+pub const DEFAULT_LOOKAHEAD_K: usize = 4;
+/// Default replay horizon for [`LookaheadScheduler`].
+pub const DEFAULT_LOOKAHEAD_HORIZON: usize = 8;
+
+impl LookaheadScheduler {
+    /// A lookahead scheduler forking up to `k` candidates, each replayed
+    /// `horizon` events deep, with the given O3 starvation limit.
+    pub fn new(k: usize, horizon: usize, o3_limit: u32) -> Self {
+        LookaheadScheduler {
+            k: k.max(1),
+            horizon,
+            o3_limit,
+        }
+    }
+
+    /// The issue's default configuration: `k=4`, `horizon=8`, O3 at the
+    /// paper's limit.
+    pub fn default_config() -> Self {
+        Self::new(
+            DEFAULT_LOOKAHEAD_K,
+            DEFAULT_LOOKAHEAD_HORIZON,
+            DEFAULT_O3_LIMIT,
+        )
+    }
+
+    /// Picks and executes the best placement for the queued request at
+    /// index `i`, forking the candidates when more than one arm is open.
+    fn place(&self, gpu: GpuId, i: usize, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        let model = ctx.queued(i).model;
+        let holders = ctx.holders(model);
+        if holders.is_empty() {
+            // Cached nowhere: the miss here is the only open arm
+            // (Algorithm 2 lines 1–3) — nothing to speculate between.
+            return Dispatch::Miss(ctx.take_queued(i));
+        }
+        // Candidate 0 is greedy LALBO3's own arm (Algorithm 2 verbatim):
+        // first idle holder with an empty backlog, else the cheapest
+        // estimated join-wait when it beats a cold load, else the miss
+        // here. Anchoring the greedy arm first means a score tie — and
+        // the strict comparison below — reproduces the baseline exactly;
+        // the policy deviates only when a fork *measured* a strictly
+        // better outcome than the estimate's pick.
+        let idle_hit = holders
+            .iter()
+            .copied()
+            .find(|&j| j != gpu && ctx.is_idle(j) && ctx.local_backlog(j) == 0);
+        let mut waits: Vec<(SimDuration, GpuId)> = holders
+            .iter()
+            .map(|&j| (ctx.estimated_wait_for(j, model), j))
+            .collect();
+        waits.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let greedy = if let Some(j) = idle_hit {
+            SpecPlacement::HitOn(j)
+        } else {
+            let join = waits
+                .first()
+                .is_some_and(|&(wait, _)| match ctx.busy_wait() {
+                    BusyWaitPolicy::Estimate => wait < ctx.load_time(gpu, model),
+                    BusyWaitPolicy::Never => false,
+                    BusyWaitPolicy::Always => true,
+                });
+            if join {
+                SpecPlacement::WaitOn(waits[0].1)
+            } else {
+                SpecPlacement::MissOn(gpu)
+            }
+        };
+        // Alternatives, deterministic order: the remaining idle hits (id
+        // order), waits at busy holders (cheapest estimate first), then
+        // the miss here — deduplicated against the greedy arm, capped at
+        // `k` forks total.
+        let mut cands: Vec<SpecPlacement> = Vec::with_capacity(self.k);
+        cands.push(greedy);
+        let alts = holders
+            .iter()
+            .copied()
+            .filter(|&j| j != gpu && ctx.is_idle(j) && ctx.local_backlog(j) == 0)
+            .map(SpecPlacement::HitOn)
+            .chain(
+                waits
+                    .iter()
+                    .filter(|&&(_, j)| !ctx.is_idle(j))
+                    .map(|&(_, j)| SpecPlacement::WaitOn(j)),
+            )
+            .chain(std::iter::once(SpecPlacement::MissOn(gpu)));
+        for p in alts {
+            if cands.len() >= self.k {
+                break;
+            }
+            if !cands.contains(&p) {
+                cands.push(p);
+            }
+        }
+        if cands.len() == 1 {
+            return Self::execute(gpu, i, cands[0], ctx);
+        }
+        let mut best = cands[0];
+        let mut best_score: SpecScore = ctx.speculate(i, cands[0], self.horizon);
+        for &cand in &cands[1..] {
+            let score = ctx.speculate(i, cand, self.horizon);
+            // Strict comparison: the earliest candidate wins ties, so
+            // the choice is deterministic.
+            if score.better_than(&best_score) {
+                best = cand;
+                best_score = score;
+            }
+        }
+        Self::execute(gpu, i, best, ctx)
+    }
+
+    /// Executes the chosen arm for real.
+    fn execute(gpu: GpuId, i: usize, placement: SpecPlacement, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        match placement {
+            SpecPlacement::HitOn(j) if j == gpu => Dispatch::Hit(ctx.take_queued(i)),
+            SpecPlacement::HitOn(j) => {
+                let r = ctx.take_queued(i);
+                ctx.dispatch_hit(j, r);
+                Dispatch::None
+            }
+            SpecPlacement::WaitOn(j) => {
+                let r = ctx.take_queued(i);
+                ctx.enqueue_local(j, r);
+                Dispatch::None
+            }
+            SpecPlacement::MissOn(j) if j == gpu => Dispatch::Miss(ctx.take_queued(i)),
+            SpecPlacement::MissOn(j) => {
+                let r = ctx.take_queued(i);
+                ctx.dispatch_miss(j, r);
+                Dispatch::None
+            }
+        }
+    }
+}
+
+impl SchedulerPolicy for LookaheadScheduler {
+    fn name(&self) -> String {
+        format!("Lookahead(k={},h={})", self.k, self.horizon)
+    }
+
+    fn on_gpu_idle(&mut self, gpu: GpuId, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        // The O3 hit scan, verbatim from LALB: a request whose model is
+        // cached here is a free win, and skipped requests accumulate
+        // visits toward the starvation limit.
+        let mut i = 0;
+        while i < ctx.queue_len() {
+            if !ctx.is_idle(gpu) {
+                return Dispatch::None;
+            }
+            let (tenant, model, visits) = {
+                let r = ctx.queued(i);
+                (r.tenant, r.model, r.visits)
+            };
+            if ctx.tenant_blocked(tenant) {
+                i += 1;
+                continue;
+            }
+            if ctx.is_cached(gpu, model) {
+                return Dispatch::Hit(ctx.take_queued(i));
+            }
+            if visits >= self.o3_limit {
+                // Starvation guard: place this request now, but let the
+                // forks pick which arm serves it best.
+                return self.place(gpu, i, ctx);
+            }
+            ctx.note_skip(i);
+            i += 1;
+        }
+        // No cached-here hit: speculatively place the head-most
+        // unblocked request. One placement per call — if it lands on
+        // another GPU the pass loop calls back while progress holds.
+        let mut i = 0;
+        while i < ctx.queue_len() {
+            if !ctx.is_idle(gpu) {
+                return Dispatch::None;
+            }
+            if ctx.tenant_blocked(ctx.queued(i).tenant) {
+                i += 1;
+                continue;
+            }
+            return self.place(gpu, i, ctx);
         }
         Dispatch::None
     }

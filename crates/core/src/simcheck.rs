@@ -31,6 +31,7 @@
 //! `simcheck` test runs fast.
 
 use gfaas_models::ModelRegistry;
+use gfaas_obs::ledger::Ledger;
 use gfaas_sim::time::SimTime;
 use gfaas_store::ModelStore;
 
@@ -42,8 +43,11 @@ const AUDIT_EVERY: u64 = 1024;
 
 /// The invariant checker. One per [`crate::Cluster`], alive for the
 /// whole run; every hook is called from the event loop under
-/// `cfg(feature = "simcheck")`.
-#[derive(Debug, Default)]
+/// `cfg(feature = "simcheck")`. `Clone` so the snapshot machinery can
+/// journal the checker alongside the state it audits — a rollback must
+/// rewind the arrival/event counters too, or conservation would fail
+/// spuriously after the replayed events re-arrive.
+#[derive(Debug, Default, Clone)]
 pub struct SimChecker {
     /// Arrivals seen (the conservation left-hand side).
     arrivals: u64,
@@ -206,6 +210,79 @@ impl SimChecker {
             metrics.avg_queue_depth,
             expect.to_bits(),
             metrics.avg_queue_depth.to_bits()
+        );
+    }
+
+    /// Serialises the checker for an on-disk checkpoint, so a
+    /// warm-started `simcheck` build resumes with consistent conservation
+    /// counters instead of asserting spuriously on the first audit.
+    pub fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        enc.put_u64(self.arrivals);
+        enc.put_time(self.last_t);
+        enc.put_u64(self.events);
+        enc.put_u64(self.audits);
+        enc.put_time(self.q_last_t);
+        enc.put_usize(self.q_last_len);
+        enc.put_u128(self.q_ticks);
+    }
+
+    /// Restores state written by [`SimChecker::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut gfaas_snap::Dec<'_>,
+    ) -> Result<(), gfaas_snap::SnapError> {
+        self.arrivals = dec.u64()?;
+        self.last_t = dec.time()?;
+        self.events = dec.u64()?;
+        self.audits = dec.u64()?;
+        self.q_last_t = dec.time()?;
+        self.q_last_len = dec.usize()?;
+        self.q_ticks = dec.u128()?;
+        Ok(())
+    }
+
+    /// Cross-checks the observability ledger against the metrics
+    /// pipeline — the two independent accountings of every request's
+    /// latency. Asserts, for a drained run:
+    ///
+    /// * every completed row's four lifecycle segments sum *exactly*
+    ///   (integer ticks) to its recorded latency;
+    /// * the ledger completed exactly as many rows as the metrics
+    ///   pipeline counted completions;
+    /// * the sum of ledger latencies equals, tick for tick, the sum of
+    ///   the latency histogram's samples (`latency_tick_sum`, captured
+    ///   from the collector before `finish` consumed it). Histogram
+    ///   samples are seconds as `f64`; whole microsecond counts below
+    ///   2^53 round-trip through that representation exactly, so the
+    ///   comparison is exact, not approximate.
+    pub fn check_ledger(&self, ledger: &Ledger, completed: u64, latency_tick_sum: u64) {
+        let mut rows_completed = 0u64;
+        let mut ledger_ticks = 0u64;
+        for row in ledger.rows() {
+            if !row.completed {
+                continue;
+            }
+            rows_completed += 1;
+            ledger_ticks += row.latency.as_micros();
+            assert!(
+                row.segments_sum() == row.latency,
+                "simcheck: ledger row {} segments sum to {:?} but latency is {:?}",
+                row.req,
+                row.segments_sum(),
+                row.latency
+            );
+        }
+        assert!(
+            rows_completed == completed && rows_completed == ledger.completed() as u64,
+            "simcheck: ledger completed {} rows (counter {}) but metrics counted {}",
+            rows_completed,
+            ledger.completed(),
+            completed
+        );
+        assert!(
+            ledger_ticks == latency_tick_sum,
+            "simcheck: ledger latencies sum to {ledger_ticks} µs but the metrics histogram \
+             holds {latency_tick_sum} µs"
         );
     }
 }

@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 
 use gfaas_gpu::{GpuId, ModelId};
+use gfaas_snap::{Dec, Enc, SnapError};
 
 use crate::cache::{Evictor, OrderLists};
 
@@ -319,6 +320,78 @@ impl Evictor for TinyLfuEvictor {
             windowed.iter().copied().find(|m| candidates.contains(m))
         })
     }
+
+    fn save_state(&self, enc: &mut Enc) {
+        self.lists.save_state(enc);
+        enc.put_usize(self.freq.len());
+        for (&m, &f) in &self.freq {
+            enc.put_u32(m.0);
+            enc.put_f64(f);
+        }
+        enc.put_usize(self.inserts.len());
+        for (&g, order) in &self.inserts {
+            enc.put_u16(g.0);
+            enc.put_usize(order.len());
+            for &m in order {
+                enc.put_u32(m.0);
+            }
+        }
+        enc.put_u64(self.accesses);
+        // decay/window/front are mutable under `auto` (the regime switch
+        // retunes them), so they are state, not config; `auto` itself is
+        // config and is rebuilt from the spec.
+        enc.put_u64(self.window);
+        enc.put_f64(self.decay);
+        enc.put_usize(self.front);
+        enc.put_u64(self.novel);
+        for hist in [&self.window_hist, &self.prev_hist] {
+            enc.put_usize(hist.len());
+            for (&m, &n) in hist {
+                enc.put_u32(m.0);
+                enc.put_u64(n);
+            }
+        }
+        enc.put_u32(self.stable_streak);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        self.lists.load_state(dec)?;
+        let nfreq = dec.usize()?;
+        let mut freq = BTreeMap::new();
+        for _ in 0..nfreq {
+            freq.insert(ModelId(dec.u32()?), dec.f64()?);
+        }
+        self.freq = freq;
+        let ngpus = dec.usize()?;
+        let mut inserts = BTreeMap::new();
+        for _ in 0..ngpus {
+            let g = GpuId(dec.u16()?);
+            let len = dec.usize()?;
+            let mut order = Vec::with_capacity(len.min(dec.remaining() / 4));
+            for _ in 0..len {
+                order.push(ModelId(dec.u32()?));
+            }
+            inserts.insert(g, order);
+        }
+        self.inserts = inserts;
+        self.accesses = dec.u64()?;
+        self.window = dec.u64()?;
+        self.decay = dec.f64()?;
+        self.front = dec.usize()?;
+        if self.window == 0 || !(self.decay > 0.0 && self.decay < 1.0) {
+            return Err(SnapError::Corrupt("tinylfu parameters out of range"));
+        }
+        self.novel = dec.u64()?;
+        for hist in [&mut self.window_hist, &mut self.prev_hist] {
+            let len = dec.usize()?;
+            hist.clear();
+            for _ in 0..len {
+                hist.insert(ModelId(dec.u32()?), dec.u64()?);
+            }
+        }
+        self.stable_streak = dec.u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +590,39 @@ mod tests {
         assert!(!e.is_auto());
         assert_eq!(e.front(), DEFAULT_FRONT);
         assert_eq!(e.window, 8);
+    }
+
+    #[test]
+    fn save_load_round_trips_auto_retuned_state() {
+        // Drive an auto evictor into the churn regime so the retuned
+        // decay/window/front are genuinely different from the spec's
+        // defaults, then round-trip into a fresh `auto()` instance.
+        let mut e = TinyLfuEvictor::auto();
+        e.attach_gpu(G0);
+        for i in 0..2 * DEFAULT_WINDOW as u32 {
+            e.on_hit(G0, ModelId(i));
+        }
+        assert_eq!(e.window, AUTO_CHURN_PARAMS.1, "precondition: retuned");
+        e.on_insert(G0, A);
+        e.on_hit(G0, A);
+
+        let mut enc = Enc::new();
+        Evictor::save_state(&e, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut fresh = TinyLfuEvictor::auto();
+        fresh.attach_gpu(G0);
+        let mut dec = Dec::new(&bytes);
+        Evictor::load_state(&mut fresh, &mut dec).expect("load");
+        dec.finish().expect("no trailing bytes");
+
+        assert_eq!(format!("{fresh:?}"), format!("{e:?}"));
+        // Continued evolution is identical through the next boundary.
+        for i in 0..AUTO_CHURN_PARAMS.1 as u32 + 8 {
+            e.on_hit(G0, ModelId(i % 3));
+            fresh.on_hit(G0, ModelId(i % 3));
+        }
+        assert_eq!(format!("{fresh:?}"), format!("{e:?}"));
+        assert_eq!(fresh.pick_victim(G0, &[A, B]), e.pick_victim(G0, &[A, B]));
     }
 
     #[test]

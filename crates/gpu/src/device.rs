@@ -447,6 +447,107 @@ impl GpuDevice {
     pub fn inferences_completed(&self) -> u64 {
         self.inferences_completed
     }
+
+    /// Serialises the device's mutable state for a checkpoint image. The
+    /// id and spec are configuration — a restore target is built from the
+    /// same cluster config (the checkpoint envelope's config digest
+    /// guards this) — so only the dynamic state travels.
+    pub fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        self.mem.save_state(enc);
+        self.sm.save_state(enc);
+        enc.put_usize(self.procs.len());
+        for (model, p) in &self.procs {
+            enc.put_u32(model.0);
+            enc.put_u64(p.pid.0);
+            enc.put_u64(p.alloc.0);
+            match p.state {
+                ProcState::Loading { until } => {
+                    enc.put_u8(0);
+                    enc.put_time(until);
+                }
+                ProcState::Ready => enc.put_u8(1),
+                ProcState::Running { until } => {
+                    enc.put_u8(2);
+                    enc.put_time(until);
+                }
+            }
+            enc.put_time(p.spawned_at);
+            enc.put_u64(p.inferences);
+        }
+        match self.state {
+            DeviceState::Idle => enc.put_u8(0),
+            DeviceState::Loading { model, until } => {
+                enc.put_u8(1);
+                enc.put_u32(model.0);
+                enc.put_time(until);
+            }
+            DeviceState::Running { model, until } => {
+                enc.put_u8(2);
+                enc.put_u32(model.0);
+                enc.put_time(until);
+            }
+        }
+        enc.put_u64(self.next_pid);
+        enc.put_u64(self.loads_started);
+        enc.put_u64(self.evictions);
+        enc.put_u64(self.inferences_completed);
+    }
+
+    /// Restores the state written by [`GpuDevice::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut gfaas_snap::Dec<'_>,
+    ) -> Result<(), gfaas_snap::SnapError> {
+        use gfaas_snap::SnapError;
+        self.mem.load_state(dec)?;
+        self.sm.load_state(dec)?;
+        let n = dec.usize()?;
+        self.procs.clear();
+        for _ in 0..n {
+            let model = ModelId(dec.u32()?);
+            let pid = ProcId(dec.u64()?);
+            let alloc = crate::memory::AllocId(dec.u64()?);
+            let state = match dec.u8()? {
+                0 => ProcState::Loading { until: dec.time()? },
+                1 => ProcState::Ready,
+                2 => ProcState::Running { until: dec.time()? },
+                _ => return Err(SnapError::Corrupt("process state tag out of range")),
+            };
+            let spawned_at = dec.time()?;
+            let inferences = dec.u64()?;
+            self.procs.push((
+                model,
+                GpuProcess {
+                    pid,
+                    model,
+                    alloc,
+                    state,
+                    spawned_at,
+                    inferences,
+                },
+            ));
+        }
+        if !self.procs.is_sorted_by_key(|&(m, _)| m) {
+            return Err(SnapError::Corrupt("process table is not sorted"));
+        }
+        self.state = match dec.u8()? {
+            0 => DeviceState::Idle,
+            1 => DeviceState::Loading {
+                model: ModelId(dec.u32()?),
+                until: dec.time()?,
+            },
+            2 => DeviceState::Running {
+                model: ModelId(dec.u32()?),
+                until: dec.time()?,
+            },
+            _ => return Err(SnapError::Corrupt("device state tag out of range")),
+        };
+        self.next_pid = dec.u64()?;
+        self.loads_started = dec.u64()?;
+        self.evictions = dec.u64()?;
+        self.inferences_completed = dec.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +723,50 @@ mod tests {
         d.evict(M1).unwrap();
         assert_eq!(d.used_bytes(), 400 * MIB);
         assert_eq!(d.evictions(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trips_mid_flight_state() {
+        let mut d = dev(4096);
+        let (_, r1) = d.start_load(t(0), M1, 300 * MIB).unwrap();
+        d.complete_load(r1, M1).unwrap();
+        let done = d
+            .start_inference(r1, M1, SimDuration::from_secs(2))
+            .unwrap();
+        d.complete_inference(done, M1).unwrap();
+        // Leave a load in flight so the non-idle path is exercised.
+        d.start_load(done, M2, 200 * MIB).unwrap();
+
+        let mut enc = gfaas_snap::Enc::new();
+        d.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut fresh = dev(4096);
+        let mut dec = gfaas_snap::Dec::new(&bytes);
+        fresh.load_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(format!("{fresh:?}"), format!("{d:?}"));
+        // The restored device keeps operating identically.
+        let until = match fresh.state() {
+            DeviceState::Loading { until, .. } => until,
+            s => panic!("expected loading, got {s:?}"),
+        };
+        fresh.complete_load(until, M2).unwrap();
+        d.complete_load(until, M2).unwrap();
+        assert_eq!(format!("{fresh:?}"), format!("{d:?}"));
+    }
+
+    #[test]
+    fn load_state_rejects_corrupt_tags() {
+        let mut d = dev(64);
+        let mut enc = gfaas_snap::Enc::new();
+        d.save_state(&mut enc);
+        let mut bytes = enc.into_bytes();
+        *bytes.last_mut().unwrap() = 0xff; // trample the trailing counter
+        bytes.pop(); // ...and truncate it
+        let mut dec = gfaas_snap::Dec::new(&bytes);
+        assert!(d.load_state(&mut dec).is_err());
     }
 
     #[test]

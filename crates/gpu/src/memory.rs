@@ -120,6 +120,35 @@ impl MemoryPool {
     pub fn size_of(&self, id: AllocId) -> Option<u64> {
         self.allocs.get(&id).copied()
     }
+
+    /// Serialises the pool's mutable state (capacity is configuration and
+    /// is not written — a restore target is built from the same config).
+    pub fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        enc.put_u64(self.used);
+        enc.put_u64(self.next_id);
+        enc.put_usize(self.allocs.len());
+        for (id, size) in &self.allocs {
+            enc.put_u64(id.0);
+            enc.put_u64(*size);
+        }
+    }
+
+    /// Restores the state written by [`MemoryPool::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut gfaas_snap::Dec<'_>,
+    ) -> Result<(), gfaas_snap::SnapError> {
+        self.used = dec.u64()?;
+        self.next_id = dec.u64()?;
+        let n = dec.usize()?;
+        self.allocs.clear();
+        for _ in 0..n {
+            let id = AllocId(dec.u64()?);
+            let size = dec.u64()?;
+            self.allocs.insert(id, size);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,27 @@ impl SmTracker {
     pub fn is_busy(&self) -> bool {
         self.open_since.is_some()
     }
+
+    /// Serialises the tracker.
+    pub fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        enc.put_dur(self.busy);
+        enc.put_u64(self.intervals);
+        enc.put_bool(self.open_since.is_some());
+        if let Some(t) = self.open_since {
+            enc.put_time(t);
+        }
+    }
+
+    /// Restores the state written by [`SmTracker::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut gfaas_snap::Dec<'_>,
+    ) -> Result<(), gfaas_snap::SnapError> {
+        self.busy = dec.dur()?;
+        self.intervals = dec.u64()?;
+        self.open_since = if dec.bool()? { Some(dec.time()?) } else { None };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,22 @@ impl Welford {
         }
     }
 
+    /// The accumulator's serial form: `(n, mean, m2, min, max)`.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Welford::raw_parts`] output.
+    pub fn from_raw_parts((n, mean, m2, min, max): (u64, f64, f64, f64, f64)) -> Self {
+        Welford {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {
@@ -194,6 +210,31 @@ impl TimeWeighted {
     pub fn current(&self) -> f64 {
         self.last_value
     }
+
+    /// The accumulator's serial form:
+    /// `(last_time, last_value, integral, started, start_time)`.
+    pub fn raw_parts(&self) -> (SimTime, f64, f64, bool, SimTime) {
+        (
+            self.last_time,
+            self.last_value,
+            self.integral,
+            self.started,
+            self.start_time,
+        )
+    }
+
+    /// Rebuilds an accumulator from [`TimeWeighted::raw_parts`] output.
+    pub fn from_raw_parts(
+        (last_time, last_value, integral, started, start_time): (SimTime, f64, f64, bool, SimTime),
+    ) -> Self {
+        TimeWeighted {
+            last_time,
+            last_value,
+            integral,
+            started,
+            start_time,
+        }
+    }
 }
 
 /// A numerator/denominator pair for hit/miss style ratios.
@@ -248,6 +289,12 @@ impl Ratio {
         } else {
             self.misses() as f64 / self.total as f64
         }
+    }
+
+    /// Rebuilds a ratio from its counters (`hits`, `total`).
+    pub fn from_raw_parts(hits: u64, total: u64) -> Self {
+        debug_assert!(hits <= total);
+        Ratio { hits, total }
     }
 }
 
@@ -371,6 +418,58 @@ impl Histogram {
     pub fn bin_width(&self) -> f64 {
         self.bin_width
     }
+
+    /// The raw samples in their current buffer order (append order until
+    /// a quantile query sorts in place).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// A rewind mark: the current sample count and sort-state flag.
+    /// Cheap (two words) — the snapshot machinery prefers marking and
+    /// [`Histogram::rewind`]ing over cloning the sample buffer.
+    pub fn mark(&self) -> (usize, bool) {
+        (self.samples.len(), self.sorted)
+    }
+
+    /// Rewinds to a [`Histogram::mark`]: drops every sample pushed since
+    /// (un-counting its bin) and restores the sort-state flag. Only valid
+    /// while nothing but [`Histogram::push`] ran between mark and rewind —
+    /// a quantile query re-sorts the buffer in place, after which the
+    /// marked prefix is no longer the pre-mark samples.
+    ///
+    /// # Panics
+    /// If `len` exceeds the current sample count (the mark is not from
+    /// this histogram's past).
+    pub fn rewind(&mut self, (len, sorted): (usize, bool)) {
+        assert!(
+            len <= self.samples.len(),
+            "histogram rewind mark {len} is in the future (have {})",
+            self.samples.len()
+        );
+        for &x in &self.samples[len..] {
+            let idx = ((x / self.bin_width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] -= 1;
+        }
+        self.samples.truncate(len);
+        self.sorted = sorted;
+    }
+
+    /// Rebuilds a histogram from its serial form: configuration plus the
+    /// raw sample buffer and sort flag (see [`Histogram::samples`]). Bin
+    /// counts are derived data and are recomputed with the same
+    /// arithmetic [`Histogram::push`] uses, so the result is
+    /// indistinguishable from the original.
+    pub fn from_raw_parts(bin_width: f64, nbins: usize, samples: Vec<f64>, sorted: bool) -> Self {
+        let mut h = Histogram::new(bin_width, nbins);
+        for &x in &samples {
+            let idx = ((x / h.bin_width) as usize).min(h.bins.len() - 1);
+            h.bins[idx] += 1;
+        }
+        h.samples = samples;
+        h.sorted = sorted;
+        h
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +545,75 @@ mod tests {
         tw.set(SimTime::from_secs(5), 2.5);
         assert!((tw.average_until(SimTime::from_secs(15)) - 2.5).abs() < 1e-12);
         assert_eq!(tw.current(), 2.5);
+    }
+
+    #[test]
+    fn histogram_mark_rewind_restores_exact_state() {
+        let mut h = Histogram::new(1.0, 5);
+        h.push(0.5);
+        h.push(3.2);
+        h.push(1.1); // out of order → sorted flag drops
+        let mark = h.mark();
+        let bins_before = h.bins().to_vec();
+        let samples_before = h.samples().to_vec();
+        h.push(9.9); // clamps into the last bin
+        h.push(0.1);
+        h.rewind(mark);
+        assert_eq!(h.bins(), &bins_before[..]);
+        assert_eq!(h.samples(), &samples_before[..]);
+        assert_eq!(h.mark(), mark);
+        // Quantiles after a rewind behave as if the tail never happened.
+        assert_eq!(h.quantile(1.0), Some(3.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn histogram_rewind_rejects_future_marks() {
+        let mut h = Histogram::new(1.0, 5);
+        h.rewind((3, true));
+    }
+
+    #[test]
+    fn histogram_raw_parts_round_trip() {
+        let mut h = Histogram::new(0.5, 8);
+        for x in [0.1, 2.0, 7.7, 1.3, 1.3] {
+            h.push(x);
+        }
+        let rebuilt = Histogram::from_raw_parts(
+            h.bin_width(),
+            h.bins().len(),
+            h.samples().to_vec(),
+            h.mark().1,
+        );
+        assert_eq!(rebuilt.bins(), h.bins());
+        assert_eq!(rebuilt.samples(), h.samples());
+        assert_eq!(rebuilt.mark(), h.mark());
+    }
+
+    #[test]
+    fn welford_and_time_weighted_raw_parts_round_trip() {
+        let mut w = Welford::new();
+        for x in [2.0, 9.0, 4.5] {
+            w.push(x);
+        }
+        let w2 = Welford::from_raw_parts(w.raw_parts());
+        assert_eq!(w2.raw_parts(), w.raw_parts());
+        assert_eq!(w2.mean(), w.mean());
+
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(3), 1.5);
+        tw.set(SimTime::from_secs(8), 4.0);
+        let tw2 = TimeWeighted::from_raw_parts(tw.raw_parts());
+        assert_eq!(tw2.raw_parts(), tw.raw_parts());
+        assert_eq!(
+            tw2.average_until(SimTime::from_secs(20)),
+            tw.average_until(SimTime::from_secs(20))
+        );
+
+        let mut r = Ratio::new();
+        r.record(true);
+        r.record(false);
+        assert_eq!(Ratio::from_raw_parts(r.hits(), r.total()), r);
     }
 
     #[test]

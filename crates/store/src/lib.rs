@@ -435,6 +435,21 @@ pub trait ModelStore: fmt::Debug + Send {
 
     /// Current counters and gauges.
     fn stats(&self) -> StoreStats;
+
+    /// Serialises the store's mutable state into a snapshot blob.
+    /// Configuration (capacities, link models, thresholds) is rebuilt
+    /// from the spec on restore and must not be written. Stateless
+    /// backends keep the default no-op.
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        let _ = enc;
+    }
+
+    /// Restores the state written by [`ModelStore::save_state`] onto a
+    /// freshly built backend of the same spec.
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        let _ = dec;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -503,6 +518,15 @@ impl ModelStore for FlatStore {
             origin_loads: self.loads,
             ..StoreStats::default()
         }
+    }
+
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        enc.put_u64(self.loads);
+    }
+
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        self.loads = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -805,6 +829,77 @@ impl ModelStore for TieredStore {
             host_models: self.host.len(),
         }
     }
+
+    fn save_state(&self, enc: &mut gfaas_snap::Enc) {
+        enc.put_u64(self.host_used);
+        enc.put_usize(self.host.len());
+        for e in &self.host {
+            enc.put_u32(e.model.0);
+            enc.put_u64(e.bytes);
+        }
+        enc.put_usize(self.in_flight.len());
+        for f in &self.in_flight {
+            enc.put_u32(f.model.0);
+            enc.put_u64(f.bytes);
+            enc.put_time(f.ready);
+        }
+        enc.put_time(self.link_free_at);
+        enc.put_usize(self.scores.len());
+        for (m, s) in &self.scores {
+            enc.put_u32(m.0);
+            enc.put_f64(s.value);
+            enc.put_time(s.last);
+            enc.put_u64(s.bytes);
+        }
+        enc.put_u64(self.host_hits);
+        enc.put_u64(self.origin_loads);
+        enc.put_u64(self.prefetch_joins);
+        enc.put_u64(self.prefetches);
+        enc.put_u64(self.demotions);
+        enc.put_u64(self.host_evictions);
+        enc.put_u64(self.host_rejects);
+    }
+
+    fn load_state(&mut self, dec: &mut gfaas_snap::Dec<'_>) -> Result<(), gfaas_snap::SnapError> {
+        self.host_used = dec.u64()?;
+        let n = dec.usize()?;
+        self.host.clear();
+        for _ in 0..n {
+            self.host.push(HostEntry {
+                model: ModelId(dec.u32()?),
+                bytes: dec.u64()?,
+            });
+        }
+        let n = dec.usize()?;
+        self.in_flight.clear();
+        for _ in 0..n {
+            self.in_flight.push(InFlightFetch {
+                model: ModelId(dec.u32()?),
+                bytes: dec.u64()?,
+                ready: dec.time()?,
+            });
+        }
+        self.link_free_at = dec.time()?;
+        let n = dec.usize()?;
+        self.scores.clear();
+        for _ in 0..n {
+            let m = ModelId(dec.u32()?);
+            let s = ArrivalScore {
+                value: dec.f64()?,
+                last: dec.time()?,
+                bytes: dec.u64()?,
+            };
+            self.scores.insert(m, s);
+        }
+        self.host_hits = dec.u64()?;
+        self.origin_loads = dec.u64()?;
+        self.prefetch_joins = dec.u64()?;
+        self.prefetches = dec.u64()?;
+        self.demotions = dec.u64()?;
+        self.host_evictions = dec.u64()?;
+        self.host_rejects = dec.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1069,6 +1164,47 @@ mod tests {
         s.note_arrival(t(100.0), ModelId(3), bytes);
         assert_eq!(s.serving_tier(ModelId(1)), Tier::HOST);
         assert_eq!(s.serving_tier(ModelId(2)), Tier::HOST);
+    }
+
+    #[test]
+    fn tiered_save_load_round_trips_mid_flight_state() {
+        let mut s = tiered("tiered:host=8G,prefetch=3,origin_lat=0,hot=2");
+        let bytes = 1000 * MIB;
+        for i in 0..4 {
+            s.note_arrival(t(i as f64 * 0.05), ModelId(5), bytes);
+        }
+        s.demote(t(0.3), ModelId(1), bytes);
+        s.begin_load(t(0.4), ModelId(2), bytes, SimDuration::ZERO);
+
+        let mut enc = gfaas_snap::Enc::new();
+        s.save_state(&mut enc);
+        let blob = enc.into_bytes();
+        let mut fresh = tiered("tiered:host=8G,prefetch=3,origin_lat=0,hot=2");
+        let mut dec = gfaas_snap::Dec::new(&blob);
+        fresh.load_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(format!("{fresh:?}"), format!("{s:?}"));
+
+        // Both copies keep evolving identically (the in-flight prefetch
+        // settles, scores decay, the link serialises new fetches).
+        for store in [&mut s, &mut fresh] {
+            store.note_arrival(t(5.0), ModelId(5), bytes);
+            store.begin_load(t(5.1), ModelId(9), bytes, SimDuration::ZERO);
+        }
+        assert_eq!(format!("{fresh:?}"), format!("{s:?}"));
+    }
+
+    #[test]
+    fn flat_save_load_round_trips_the_counter() {
+        let mut s = FlatStore::new();
+        s.begin_load(t(0.0), ModelId(1), MIB, SimDuration::ZERO);
+        s.begin_load(t(1.0), ModelId(2), MIB, SimDuration::ZERO);
+        let mut enc = gfaas_snap::Enc::new();
+        s.save_state(&mut enc);
+        let blob = enc.into_bytes();
+        let mut fresh = FlatStore::new();
+        fresh.load_state(&mut gfaas_snap::Dec::new(&blob)).unwrap();
+        assert_eq!(fresh.stats(), s.stats());
     }
 
     #[test]
